@@ -1,0 +1,94 @@
+//! Engine kinds of a DaVinci core.
+
+use std::fmt;
+
+/// The hardware execution engines inside an AIC/AIV core.
+///
+/// Each engine has its own instruction queue; instructions on different
+/// engines execute concurrently and are ordered only by explicit data
+/// dependencies (the AscendC queue model). Instructions on the *same*
+/// engine serialize in issue order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Inbound Memory Transfer Engine: GM → local buffers (and GM → L1).
+    Mte2,
+    /// Cube-core internal transfer engine: L1 → L0A/L0B.
+    Mte1,
+    /// Outbound Memory Transfer Engine: local buffers → GM.
+    Mte3,
+    /// Fixed-point/format pipe: L0C → GM result write-out (cube cores).
+    Fixp,
+    /// The cube (matrix multiply) engine.
+    Cube,
+    /// The vector (SIMD) engine.
+    Vec,
+    /// The scalar unit (address arithmetic, loop control, scalar ops).
+    Scalar,
+}
+
+impl EngineKind {
+    /// All engine kinds, in a fixed order (used for utilization reports).
+    pub const ALL: [EngineKind; 7] = [
+        EngineKind::Mte2,
+        EngineKind::Mte1,
+        EngineKind::Mte3,
+        EngineKind::Fixp,
+        EngineKind::Cube,
+        EngineKind::Vec,
+        EngineKind::Scalar,
+    ];
+
+    /// Dense index of this engine kind (for array-backed maps).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            EngineKind::Mte2 => 0,
+            EngineKind::Mte1 => 1,
+            EngineKind::Mte3 => 2,
+            EngineKind::Fixp => 3,
+            EngineKind::Cube => 4,
+            EngineKind::Vec => 5,
+            EngineKind::Scalar => 6,
+        }
+    }
+
+    /// The engine's conventional name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EngineKind::Mte2 => "MTE2",
+            EngineKind::Mte1 => "MTE1",
+            EngineKind::Mte3 => "MTE3",
+            EngineKind::Fixp => "FIXP",
+            EngineKind::Cube => "CUBE",
+            EngineKind::Vec => "VEC",
+            EngineKind::Scalar => "SCALAR",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 7];
+        for e in EngineKind::ALL {
+            assert!(!seen[e.index()], "duplicate index for {e}");
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EngineKind::Cube.to_string(), "CUBE");
+        assert_eq!(EngineKind::Mte2.name(), "MTE2");
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for the simulator.
+
+use std::fmt;
+
+/// Result alias used throughout the simulator and kernel layers.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors raised by the simulator.
+///
+/// These correspond to conditions that on real hardware would be compile
+/// errors, runtime aborts, or silent corruption; the simulator turns all
+/// of them into explicit errors so kernels can be tested for resource
+/// safety (scratchpad budgets, queue protocol, bounds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A local-buffer allocation exceeded the scratchpad capacity.
+    ScratchpadOverflow {
+        /// Which scratchpad (e.g. "UB", "L0A").
+        buffer: &'static str,
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes already in use.
+        in_use: usize,
+        /// Scratchpad capacity in bytes.
+        capacity: usize,
+    },
+    /// A global-memory access fell outside its tensor region.
+    OutOfBounds {
+        /// Description of the access.
+        what: &'static str,
+        /// First byte offset of the access.
+        offset: usize,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Size of the containing region in bytes.
+        region: usize,
+    },
+    /// Global-memory allocation exceeded the configured HBM capacity.
+    GlobalMemoryExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Queue protocol violation (e.g. `deque` on an empty queue).
+    QueueProtocol(&'static str),
+    /// An instruction was given invalid arguments (shape mismatch etc.).
+    InvalidArgument(String),
+    /// An instruction was issued on a core that lacks the engine
+    /// (e.g. `Mmad` on a vector core).
+    WrongCore {
+        /// The instruction name.
+        instr: &'static str,
+        /// The core kind the instruction ran on.
+        core: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScratchpadOverflow {
+                buffer,
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "scratchpad {buffer} overflow: requested {requested} B with {in_use}/{capacity} B in use"
+            ),
+            SimError::OutOfBounds {
+                what,
+                offset,
+                len,
+                region,
+            } => write!(
+                f,
+                "{what}: access [{offset}, {}) outside region of {region} B",
+                offset + len
+            ),
+            SimError::GlobalMemoryExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "global memory exhausted: requested {requested} B, {available} B available"
+            ),
+            SimError::QueueProtocol(msg) => write!(f, "queue protocol violation: {msg}"),
+            SimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SimError::WrongCore { instr, core } => {
+                write!(f, "instruction {instr} not available on a {core} core")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::ScratchpadOverflow {
+            buffer: "UB",
+            requested: 1024,
+            in_use: 190_000,
+            capacity: 196_608,
+        };
+        assert!(e.to_string().contains("UB"));
+        assert!(e.to_string().contains("1024"));
+
+        let e = SimError::OutOfBounds {
+            what: "DataCopy",
+            offset: 100,
+            len: 28,
+            region: 64,
+        };
+        assert!(e.to_string().contains("[100, 128)"));
+
+        let e = SimError::WrongCore {
+            instr: "Mmad",
+            core: "vector",
+        };
+        assert!(e.to_string().contains("Mmad"));
+    }
+}

@@ -1,0 +1,57 @@
+//! A deterministic functional + timing simulator of the Huawei Ascend 910B
+//! ("DaVinci") AI accelerator, built as the hardware substrate for the
+//! parallel-scan reproduction.
+//!
+//! # What is simulated
+//!
+//! The 910B presents a grid of *AI cores*; each AI core contains one **AI
+//! Cube (AIC) core** and two **AI Vector (AIV) cores**. Every core owns
+//!
+//! * a compute engine (cube matmul engine or SIMD vector engine),
+//! * Memory Transfer Engines (MTE2 inbound, MTE3 outbound, and on the cube
+//!   core MTE1 for L1→L0 moves and a FIXP path for L0C→GM),
+//! * a scalar unit, and
+//! * local scratchpads (UB on vector cores; L1/L0A/L0B/L0C on cube cores).
+//!
+//! Engines have separate instruction queues and run concurrently; data
+//! dependencies between them are explicit (the AscendC queue model). The
+//! simulator reproduces exactly this: every instruction is assigned a
+//! deterministic cost by the [`chip::ChipSpec`] cost model, issues on its
+//! engine's queue, and starts at `max(engine free, dependencies ready)`.
+//! A kernel's simulated time is therefore the critical path through its
+//! instruction dataflow graph, with two global corrections:
+//!
+//! * a **bandwidth bound**: between global barriers, the simulated clock
+//!   can never run faster than (bytes moved to/from global memory) /
+//!   (effective HBM or L2 bandwidth);
+//! * a **launch overhead** per kernel.
+//!
+//! Functional behaviour is exact: global memory is a real byte buffer and
+//! every transfer/compute instruction also performs its actual data
+//! movement/arithmetic, so kernels produce bit-accurate results that the
+//! test-suite checks against reference implementations.
+//!
+//! # What is *not* simulated
+//!
+//! Instruction fetch, cache-line granularity, DRAM row effects, and the
+//! scalar pipelines are abstracted into per-instruction issue overheads.
+//! The model aims for faithful *relative* performance (who wins, where
+//! crossovers fall), not cycle-exact absolute numbers.
+
+pub mod chip;
+pub mod engine;
+pub mod error;
+pub mod mem;
+pub mod report;
+pub mod sync;
+pub mod timeline;
+pub mod trace;
+
+pub use chip::ChipSpec;
+pub use engine::EngineKind;
+pub use error::{SimError, SimResult};
+pub use mem::{GlobalMemory, Region};
+pub use report::KernelReport;
+pub use sync::SharedSync;
+pub use trace::TraceEvent;
+pub use timeline::{CoreKind, CoreTimeline, EventTime};

@@ -1,0 +1,170 @@
+//! Kernel execution reports.
+
+use crate::chip::ChipSpec;
+use crate::engine::EngineKind;
+
+/// Result of simulating one kernel launch: the corrected simulated time
+/// plus traffic and occupancy statistics.
+///
+/// Bandwidth figures follow the paper's convention: the *operator*
+/// bandwidth divides the operator's useful bytes (its input size plus its
+/// output size, `useful_bytes`) by the simulated time, while
+/// `traffic_gbps` divides the bytes the kernel actually moved (which can
+/// be larger — e.g. MCScan touches ≈5·N bytes to produce 2·N useful ones).
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Kernel name (for harness output).
+    pub name: String,
+    /// Number of blocks launched.
+    pub blocks: u32,
+    /// Corrected end-to-end simulated cycles (including launch overhead).
+    pub cycles: u64,
+    /// Core clock in GHz (copied from the spec for unit conversions).
+    pub clock_ghz: f64,
+    /// Device bytes read from global memory.
+    pub bytes_read: u64,
+    /// Device bytes written to global memory.
+    pub bytes_written: u64,
+    /// The operator's useful bytes (input + output), set by the caller.
+    pub useful_bytes: u64,
+    /// The operator's element count, set by the caller.
+    pub elements: u64,
+    /// Total busy cycles per engine kind, summed over all cores.
+    pub engine_busy: [u64; EngineKind::ALL.len()],
+    /// Total instructions per engine kind, summed over all cores.
+    pub engine_instructions: [u64; EngineKind::ALL.len()],
+    /// Number of global barriers executed.
+    pub sync_rounds: u64,
+}
+
+impl KernelReport {
+    /// Simulated wall-clock seconds.
+    pub fn time_s(&self) -> f64 {
+        self.cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Simulated time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.time_s() * 1e6
+    }
+
+    /// Simulated time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.time_s() * 1e3
+    }
+
+    /// Operator bandwidth in GB/s (useful bytes / time) — the paper's
+    /// reporting convention.
+    pub fn gbps(&self) -> f64 {
+        self.useful_bytes as f64 / self.time_s() / 1e9
+    }
+
+    /// Achieved raw traffic bandwidth in GB/s (bytes actually moved).
+    pub fn traffic_gbps(&self) -> f64 {
+        (self.bytes_read + self.bytes_written) as f64 / self.time_s() / 1e9
+    }
+
+    /// Throughput in giga-elements per second (Fig. 9's unit).
+    pub fn gelems(&self) -> f64 {
+        self.elements as f64 / self.time_s() / 1e9
+    }
+
+    /// Utilization of an engine kind across `cores` cores: busy cycles
+    /// divided by (cores × total cycles).
+    pub fn utilization(&self, engine: EngineKind, cores: u32) -> f64 {
+        if self.cycles == 0 || cores == 0 {
+            return 0.0;
+        }
+        self.engine_busy[engine.index()] as f64 / (self.cycles as f64 * f64::from(cores))
+    }
+
+    /// Fraction of the chip's theoretical peak memory bandwidth achieved
+    /// by the operator (the paper's "37.5% of theoretical bandwidth").
+    pub fn fraction_of_peak(&self, spec: &ChipSpec) -> f64 {
+        self.gbps() * 1e9 / spec.hbm_bytes_per_sec
+    }
+
+    /// Combines reports of kernels launched back to back into one
+    /// operator-level report: cycles and traffic add up; `useful_bytes`
+    /// and `elements` are left for the caller's I/O convention.
+    pub fn sequential(name: &str, parts: &[KernelReport]) -> KernelReport {
+        assert!(!parts.is_empty(), "sequential needs at least one report");
+        let mut engine_busy = [0u64; EngineKind::ALL.len()];
+        let mut engine_instructions = [0u64; EngineKind::ALL.len()];
+        for p in parts {
+            for i in 0..EngineKind::ALL.len() {
+                engine_busy[i] += p.engine_busy[i];
+                engine_instructions[i] += p.engine_instructions[i];
+            }
+        }
+        KernelReport {
+            name: name.to_string(),
+            blocks: parts.iter().map(|p| p.blocks).max().unwrap_or(0),
+            cycles: parts.iter().map(|p| p.cycles).sum(),
+            clock_ghz: parts[0].clock_ghz,
+            bytes_read: parts.iter().map(|p| p.bytes_read).sum(),
+            bytes_written: parts.iter().map(|p| p.bytes_written).sum(),
+            useful_bytes: 0,
+            elements: 0,
+            engine_busy,
+            engine_instructions,
+            sync_rounds: parts.iter().map(|p| p.sync_rounds).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> KernelReport {
+        KernelReport {
+            name: "test".into(),
+            blocks: 20,
+            cycles: 1_800_000, // 1 ms at 1.8 GHz
+            clock_ghz: 1.8,
+            bytes_read: 3_000_000,
+            bytes_written: 2_000_000,
+            useful_bytes: 2_000_000,
+            elements: 1_000_000,
+            engine_busy: [0, 0, 0, 0, 900_000, 0, 0],
+            engine_instructions: [0; 7],
+            sync_rounds: 1,
+        }
+    }
+
+    #[test]
+    fn time_conversions() {
+        let r = report();
+        assert!((r.time_s() - 1e-3).abs() < 1e-12);
+        assert!((r.time_us() - 1000.0).abs() < 1e-6);
+        assert!((r.time_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_conventions() {
+        let r = report();
+        // Useful: 2 MB in 1 ms = 2 GB/s.
+        assert!((r.gbps() - 2.0).abs() < 1e-9);
+        // Traffic: 5 MB in 1 ms = 5 GB/s.
+        assert!((r.traffic_gbps() - 5.0).abs() < 1e-9);
+        // 1 M elements in 1 ms = 1e9 elems/s = 1 GElem/s.
+        assert!((r.gelems() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_and_peak_fraction() {
+        let r = report();
+        let u = r.utilization(EngineKind::Cube, 20);
+        assert!((u - 900_000.0 / (1_800_000.0 * 20.0)).abs() < 1e-12);
+        let spec = ChipSpec::ascend_910b4();
+        assert!((r.fraction_of_peak(&spec) - 2.0 / 800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_utilization_is_zero() {
+        let mut r = report();
+        r.cycles = 0;
+        assert_eq!(r.utilization(EngineKind::Cube, 20), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-core dataflow timing.
+//!
+//! A [`CoreTimeline`] models one AIC or AIV core: a set of engines, each
+//! with its own in-order instruction queue. Executing an instruction on an
+//! engine starts at `max(engine free, all dependencies ready)` and
+//! occupies the engine for the instruction's cost. The returned
+//! [`EventTime`] is the completion time; threading these completion times
+//! through the AscendC queue layer yields exactly the pipelined schedules
+//! the paper describes (MTE/cube/vector overlap, double buffering).
+
+use crate::chip::ChipSpec;
+use crate::engine::EngineKind;
+use crate::error::{SimError, SimResult};
+
+/// Completion time of an instruction, in core cycles since kernel start.
+pub type EventTime = u64;
+
+/// Whether a core is a cube (AIC) or vector (AIV) core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreKind {
+    /// AI Cube core: matmul engine + MTE1/MTE2/MTE3/FIXP + scalar.
+    Cube,
+    /// AI Vector core: SIMD engine + MTE2/MTE3 + scalar.
+    Vector,
+}
+
+impl CoreKind {
+    /// The core kind's name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CoreKind::Cube => "cube",
+            CoreKind::Vector => "vector",
+        }
+    }
+
+    /// True if the engine exists on this core kind.
+    pub fn has_engine(self, engine: EngineKind) -> bool {
+        match self {
+            CoreKind::Cube => ChipSpec::cube_core_engines().contains(&engine),
+            CoreKind::Vector => ChipSpec::vec_core_engines().contains(&engine),
+        }
+    }
+}
+
+/// The timing state of one core.
+#[derive(Clone, Debug)]
+pub struct CoreTimeline {
+    kind: CoreKind,
+    /// Cycle at which each engine becomes free.
+    free_at: [EventTime; EngineKind::ALL.len()],
+    /// Accumulated busy cycles per engine (for utilization reports).
+    busy: [u64; EngineKind::ALL.len()],
+    /// Number of instructions issued per engine.
+    issued: [u64; EngineKind::ALL.len()],
+    /// Recorded (engine, start, end) intervals, when tracing is on.
+    recorded: Option<Vec<(EngineKind, EventTime, EventTime)>>,
+}
+
+impl CoreTimeline {
+    /// A fresh core timeline at cycle `start` (engines all idle).
+    pub fn new(kind: CoreKind, start: EventTime) -> Self {
+        CoreTimeline {
+            kind,
+            free_at: [start; EngineKind::ALL.len()],
+            busy: [0; EngineKind::ALL.len()],
+            issued: [0; EngineKind::ALL.len()],
+            recorded: None,
+        }
+    }
+
+    /// Turns on per-instruction interval recording (for trace export).
+    pub fn enable_recording(&mut self) {
+        if self.recorded.is_none() {
+            self.recorded = Some(Vec::new());
+        }
+    }
+
+    /// The recorded (engine, start, end) intervals, if tracing was on.
+    pub fn recorded(&self) -> &[(EngineKind, EventTime, EventTime)] {
+        self.recorded.as_deref().unwrap_or(&[])
+    }
+
+    /// The core kind.
+    pub fn kind(&self) -> CoreKind {
+        self.kind
+    }
+
+    /// Executes an instruction of the given cost on an engine, after all
+    /// of `deps` have completed. Returns the completion time.
+    pub fn exec(
+        &mut self,
+        engine: EngineKind,
+        cycles: u64,
+        deps: &[EventTime],
+    ) -> SimResult<EventTime> {
+        if !self.kind.has_engine(engine) {
+            return Err(SimError::WrongCore {
+                instr: engine.name(),
+                core: self.kind.name(),
+            });
+        }
+        let idx = engine.index();
+        let ready = deps.iter().copied().max().unwrap_or(0);
+        let start = self.free_at[idx].max(ready);
+        let end = start + cycles;
+        self.free_at[idx] = end;
+        self.busy[idx] += cycles;
+        self.issued[idx] += 1;
+        if let Some(rec) = &mut self.recorded {
+            rec.push((engine, start, end));
+        }
+        Ok(end)
+    }
+
+    /// The core's current completion horizon: when its last-finishing
+    /// engine becomes free.
+    pub fn now(&self) -> EventTime {
+        *self.free_at.iter().max().expect("non-empty engine set")
+    }
+
+    /// Advances every engine's free time to at least `t` (used at global
+    /// barriers and when waiting on a cross-core event).
+    pub fn align_to(&mut self, t: EventTime) {
+        for f in &mut self.free_at {
+            *f = (*f).max(t);
+        }
+    }
+
+    /// Busy cycles accumulated on an engine.
+    pub fn busy_cycles(&self, engine: EngineKind) -> u64 {
+        self.busy[engine.index()]
+    }
+
+    /// Instructions issued on an engine.
+    pub fn instructions(&self, engine: EngineKind) -> u64 {
+        self.issued[engine.index()]
+    }
+
+    /// Merges another core's counters into this one (used when collapsing
+    /// per-block statistics into a kernel report).
+    pub fn absorb_counters(&mut self, other: &CoreTimeline) {
+        for i in 0..EngineKind::ALL.len() {
+            self.busy[i] += other.busy[i];
+            self.issued[i] += other.issued[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_engine_serializes() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 0);
+        let a = core.exec(EngineKind::Vec, 10, &[]).unwrap();
+        let b = core.exec(EngineKind::Vec, 5, &[]).unwrap();
+        assert_eq!(a, 10);
+        assert_eq!(b, 15, "second op waits for the engine");
+    }
+
+    #[test]
+    fn different_engines_overlap() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 0);
+        let a = core.exec(EngineKind::Mte2, 100, &[]).unwrap();
+        let b = core.exec(EngineKind::Vec, 10, &[]).unwrap();
+        assert_eq!(a, 100);
+        assert_eq!(b, 10, "independent engines run concurrently");
+        // But a dependent op waits for its producer.
+        let c = core.exec(EngineKind::Vec, 10, &[a]).unwrap();
+        assert_eq!(c, 110);
+    }
+
+    #[test]
+    fn dependencies_pick_latest() {
+        let mut core = CoreTimeline::new(CoreKind::Cube, 0);
+        let a = core.exec(EngineKind::Mte2, 50, &[]).unwrap();
+        let b = core.exec(EngineKind::Mte1, 20, &[a]).unwrap();
+        let c = core.exec(EngineKind::Cube, 30, &[a, b]).unwrap();
+        assert_eq!(b, 70);
+        assert_eq!(c, 100);
+        assert_eq!(core.now(), 100);
+    }
+
+    #[test]
+    fn wrong_core_is_rejected() {
+        let mut vec_core = CoreTimeline::new(CoreKind::Vector, 0);
+        let err = vec_core.exec(EngineKind::Cube, 1, &[]).unwrap_err();
+        assert!(matches!(err, SimError::WrongCore { .. }));
+        let mut cube_core = CoreTimeline::new(CoreKind::Cube, 0);
+        assert!(cube_core.exec(EngineKind::Vec, 1, &[]).is_err());
+        assert!(cube_core.exec(EngineKind::Mte1, 1, &[]).is_ok());
+    }
+
+    #[test]
+    fn align_to_advances_all_engines() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 0);
+        core.exec(EngineKind::Vec, 10, &[]).unwrap();
+        core.align_to(1000);
+        let a = core.exec(EngineKind::Vec, 1, &[]).unwrap();
+        assert_eq!(a, 1001);
+        // align_to never moves time backwards.
+        core.align_to(50);
+        let b = core.exec(EngineKind::Mte2, 1, &[]).unwrap();
+        assert_eq!(b, 1001);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 0);
+        core.exec(EngineKind::Vec, 10, &[]).unwrap();
+        core.exec(EngineKind::Vec, 15, &[]).unwrap();
+        core.exec(EngineKind::Mte2, 5, &[]).unwrap();
+        assert_eq!(core.busy_cycles(EngineKind::Vec), 25);
+        assert_eq!(core.instructions(EngineKind::Vec), 2);
+        assert_eq!(core.busy_cycles(EngineKind::Mte2), 5);
+
+        let mut total = CoreTimeline::new(CoreKind::Vector, 0);
+        total.absorb_counters(&core);
+        total.absorb_counters(&core);
+        assert_eq!(total.busy_cycles(EngineKind::Vec), 50);
+    }
+
+    #[test]
+    fn starts_at_nonzero_origin() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 500);
+        let a = core.exec(EngineKind::Vec, 10, &[]).unwrap();
+        assert_eq!(a, 510);
+        // A dependency earlier than the origin has no effect.
+        let b = core.exec(EngineKind::Mte2, 10, &[100]).unwrap();
+        assert_eq!(b, 510);
+    }
+}

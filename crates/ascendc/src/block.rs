@@ -1,0 +1,416 @@
+//! Kernel blocks and the launch machinery.
+//!
+//! A *block* is the smallest logical execution unit of an AscendC kernel;
+//! here one block maps to one AI core — one cube core plus
+//! `spec.vec_per_core` vector cores. [`launch`] runs the kernel closure
+//! once per block on its own OS thread, then merges the per-block
+//! simulated timelines into a single [`KernelReport`].
+//!
+//! Global synchronization ([`BlockCtx::sync_all`]) is a real thread
+//! barrier: all blocks align their simulated clocks to the slowest block
+//! and to the segment's memory-bandwidth bound.
+//!
+//! # Failure semantics
+//!
+//! A kernel that returns an error *between* two `sync_all` calls while
+//! other blocks keep synchronizing would deadlock on real hardware — and
+//! here the launcher keeps the error thread participating in the final
+//! barrier only, so kernels must validate their resources before the
+//! first barrier (all kernels in this repository allocate up front).
+
+use crate::core::Core;
+use ascend_sim::mem::GlobalMemory;
+use ascend_sim::{
+    ChipSpec, CoreKind, EngineKind, EventTime, KernelReport, SharedSync, SimError, SimResult,
+    TraceEvent,
+};
+use std::sync::Arc;
+
+/// Per-block execution context: the block's cores plus the launch-wide
+/// shared state.
+pub struct BlockCtx<'a> {
+    /// This block's index in `0..block_dim`.
+    pub block_idx: u32,
+    /// Number of blocks in the launch.
+    pub block_dim: u32,
+    /// The block's cube (AIC) core.
+    pub cube: Core<'a>,
+    /// The block's vector (AIV) cores (two on the 910B).
+    pub vecs: Vec<Core<'a>>,
+    spec: &'a ChipSpec,
+    gm: &'a GlobalMemory,
+    sync: &'a SharedSync,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// The chip specification.
+    pub fn spec(&self) -> &ChipSpec {
+        self.spec
+    }
+
+    /// The block's local completion horizon: the latest time any of its
+    /// cores finishes its issued work.
+    pub fn local_now(&self) -> EventTime {
+        self.vecs
+            .iter()
+            .map(Core::now)
+            .chain(std::iter::once(self.cube.now()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `SyncAll`: global barrier across all blocks. Aligns every core of
+    /// every block to the slowest block and to the memory-bandwidth bound
+    /// of the segment since the previous barrier. Returns the resumption
+    /// time.
+    pub fn sync_all(&mut self) -> EventTime {
+        let local = self.local_now();
+        let resolved = self
+            .sync
+            .sync(local, self.gm, self.spec, self.spec.sync_all_cycles);
+        self.cube.wait(resolved);
+        for v in &mut self.vecs {
+            v.wait(resolved);
+        }
+        resolved
+    }
+}
+
+struct BlockOutcome {
+    end: EventTime,
+    busy: [u64; EngineKind::ALL.len()],
+    instructions: [u64; EngineKind::ALL.len()],
+    error: Option<SimError>,
+    events: Vec<TraceEvent>,
+}
+
+/// Launches `block_dim` blocks of `kernel` on the chip and returns the
+/// merged execution report.
+///
+/// The kernel closure runs once per block (on its own OS thread) and
+/// drives the block's engines through [`BlockCtx`]. `useful_bytes` and
+/// `elements` of the returned report are left at zero — operator wrappers
+/// fill them in with the operator's I/O convention.
+pub fn launch<F>(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    block_dim: u32,
+    name: &str,
+    kernel: F,
+) -> SimResult<KernelReport>
+where
+    F: Fn(&mut BlockCtx<'_>) -> SimResult<()> + Sync,
+{
+    launch_impl(spec, gm, block_dim, name, kernel, false).map(|(r, _)| r)
+}
+
+/// Like [`launch`], but records every instruction's engine-occupancy
+/// interval and returns the events alongside the report — feed them to
+/// [`ascend_sim::trace::to_chrome_json`] to inspect the schedule at
+/// `chrome://tracing`.
+pub fn launch_traced<F>(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    block_dim: u32,
+    name: &str,
+    kernel: F,
+) -> SimResult<(KernelReport, Vec<TraceEvent>)>
+where
+    F: Fn(&mut BlockCtx<'_>) -> SimResult<()> + Sync,
+{
+    launch_impl(spec, gm, block_dim, name, kernel, true)
+}
+
+fn launch_impl<F>(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    block_dim: u32,
+    name: &str,
+    kernel: F,
+    trace: bool,
+) -> SimResult<(KernelReport, Vec<TraceEvent>)>
+where
+    F: Fn(&mut BlockCtx<'_>) -> SimResult<()> + Sync,
+{
+    if block_dim == 0 || block_dim > spec.ai_cores {
+        return Err(SimError::InvalidArgument(format!(
+            "block_dim {block_dim} out of range 1..={}",
+            spec.ai_cores
+        )));
+    }
+    let read_at_start = gm.bytes_read();
+    let written_at_start = gm.bytes_written();
+    let sync = SharedSync::with_origin(
+        block_dim as usize,
+        spec.launch_cycles,
+        read_at_start + written_at_start,
+    );
+
+    let outcomes: Vec<BlockOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..block_dim)
+            .map(|block_idx| {
+                let sync = &sync;
+                let kernel = &kernel;
+                let gm_ref: &GlobalMemory = gm;
+                scope.spawn(move || {
+                    let mut ctx = BlockCtx {
+                        block_idx,
+                        block_dim,
+                        cube: Core::new(CoreKind::Cube, spec, spec.launch_cycles),
+                        vecs: (0..spec.vec_per_core)
+                            .map(|_| Core::new(CoreKind::Vector, spec, spec.launch_cycles))
+                            .collect(),
+                        spec,
+                        gm: gm_ref,
+                        sync,
+                    };
+                    if trace {
+                        ctx.cube.timeline_mut().enable_recording();
+                        for v in &mut ctx.vecs {
+                            v.timeline_mut().enable_recording();
+                        }
+                    }
+                    let error = kernel(&mut ctx).err();
+                    // Always join the final barrier so sibling blocks
+                    // terminate; see module docs for failure semantics.
+                    let end = sync.sync(ctx.local_now(), gm_ref, spec, 0);
+                    let mut busy = [0u64; EngineKind::ALL.len()];
+                    let mut instructions = [0u64; EngineKind::ALL.len()];
+                    let mut events = Vec::new();
+                    for (ci, core) in std::iter::once(&ctx.cube).chain(ctx.vecs.iter()).enumerate() {
+                        for e in EngineKind::ALL {
+                            busy[e.index()] += core.timeline().busy_cycles(e);
+                            instructions[e.index()] += core.timeline().instructions(e);
+                        }
+                        if trace {
+                            events.extend(core.timeline().recorded().iter().map(
+                                |&(engine, start, end)| TraceEvent {
+                                    block: block_idx,
+                                    core: ci as u32,
+                                    engine,
+                                    start,
+                                    end,
+                                },
+                            ));
+                        }
+                    }
+                    BlockOutcome {
+                        end,
+                        busy,
+                        instructions,
+                        error,
+                        events,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("block thread panicked"))
+            .collect()
+    });
+
+    if let Some(err) = outcomes.iter().find_map(|o| o.error.clone()) {
+        return Err(err);
+    }
+
+    let mut busy = [0u64; EngineKind::ALL.len()];
+    let mut instructions = [0u64; EngineKind::ALL.len()];
+    for o in &outcomes {
+        for i in 0..EngineKind::ALL.len() {
+            busy[i] += o.busy[i];
+            instructions[i] += o.instructions[i];
+        }
+    }
+    let cycles = outcomes.iter().map(|o| o.end).max().unwrap_or(0);
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for o in outcomes {
+        events.extend(o.events);
+    }
+    Ok((KernelReport {
+        name: name.to_string(),
+        blocks: block_dim,
+        cycles,
+        clock_ghz: spec.clock_ghz,
+        bytes_read: gm.bytes_read() - read_at_start,
+        bytes_written: gm.bytes_written() - written_at_start,
+        useful_bytes: 0,
+        elements: 0,
+        engine_busy: busy,
+        engine_instructions: instructions,
+        sync_rounds: sync.rounds().saturating_sub(1),
+    }, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::GlobalTensor;
+    use ascend_sim::chip::ScratchpadKind;
+
+    fn setup() -> (ChipSpec, Arc<GlobalMemory>) {
+        let spec = ChipSpec::tiny();
+        let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+        (spec, gm)
+    }
+
+    #[test]
+    fn single_block_copy_kernel() {
+        let (spec, gm) = setup();
+        let input: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let x = GlobalTensor::from_slice(&gm, &input).unwrap();
+        let y = GlobalTensor::<f32>::new(&gm, 256).unwrap();
+
+        let report = launch(&spec, &gm, 1, "copy", |ctx| {
+            let v = &mut ctx.vecs[0];
+            let mut buf = v.alloc_local::<f32>(ScratchpadKind::Ub, 256)?;
+            v.copy_in(&mut buf, 0, &x, 0, 256, &[])?;
+            v.copy_out(&y, 0, &buf, 0, 256, &[])?;
+            Ok(())
+        })
+        .unwrap();
+
+        assert_eq!(y.to_vec(), input);
+        assert!(report.cycles > spec.launch_cycles);
+        assert_eq!(report.bytes_read, 1024);
+        assert_eq!(report.bytes_written, 1024);
+        assert_eq!(report.blocks, 1);
+    }
+
+    #[test]
+    fn blocks_partition_work() {
+        let (spec, gm) = setup();
+        let n = 512;
+        let x = GlobalTensor::from_slice(&gm, &vec![1i32; n]).unwrap();
+        let y = GlobalTensor::<i32>::new(&gm, n).unwrap();
+
+        launch(&spec, &gm, 2, "add1", |ctx| {
+            let per = n / ctx.block_dim as usize;
+            let off = ctx.block_idx as usize * per;
+            let v = &mut ctx.vecs[0];
+            let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, per)?;
+            v.copy_in(&mut buf, 0, &x, off, per, &[])?;
+            v.vadds(&mut buf, 0, per, 41, 0)?;
+            v.copy_out(&y, off, &buf, 0, per, &[])?;
+            Ok(())
+        })
+        .unwrap();
+
+        assert_eq!(y.to_vec(), vec![42i32; n]);
+    }
+
+    #[test]
+    fn sync_all_aligns_blocks() {
+        let (spec, gm) = setup();
+        let flags = GlobalTensor::<u32>::new(&gm, 2).unwrap();
+
+        let report = launch(&spec, &gm, 2, "sync", |ctx| {
+            let idx = ctx.block_idx as usize;
+            // Block 0 does much more pre-barrier work than block 1.
+            let reps = if idx == 0 { 50 } else { 1 };
+            {
+                let v = &mut ctx.vecs[0];
+                let mut buf = v.alloc_local::<u32>(ScratchpadKind::Ub, 64)?;
+                for _ in 0..reps {
+                    v.vadds(&mut buf, 0, 64, 1, 0)?;
+                }
+                v.copy_out(&flags, idx, &buf, 0, 1, &[])?;
+            }
+            let resumed = ctx.sync_all();
+            // After the barrier both blocks resume at the same cycle,
+            // which is at least the slow block's pre-barrier time.
+            assert!(resumed >= ctx.spec().launch_cycles + 50);
+            Ok(())
+        })
+        .unwrap();
+
+        assert_eq!(report.sync_rounds, 1);
+        assert_eq!(flags.to_vec(), vec![50, 1]);
+    }
+
+    #[test]
+    fn launch_is_deterministic() {
+        let run = || {
+            let (spec, gm) = setup();
+            let x = GlobalTensor::from_slice(&gm, &vec![2i32; 1024]).unwrap();
+            let y = GlobalTensor::<i32>::new(&gm, 1024).unwrap();
+            launch(&spec, &gm, 2, "det", |ctx| {
+                let per = 512;
+                let off = ctx.block_idx as usize * per;
+                let v = &mut ctx.vecs[(ctx.block_idx % 2) as usize];
+                let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, per)?;
+                v.copy_in(&mut buf, 0, &x, off, per, &[])?;
+                ctx.sync_all();
+                let v = &mut ctx.vecs[0];
+                v.copy_out(&y, off, &buf, 0, per, &[])?;
+                Ok(())
+            })
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.engine_busy, b.engine_busy);
+        assert_eq!(a.bytes_read, b.bytes_read);
+    }
+
+    #[test]
+    fn invalid_block_dim_rejected() {
+        let (spec, gm) = setup();
+        assert!(launch(&spec, &gm, 0, "x", |_| Ok(())).is_err());
+        assert!(launch(&spec, &gm, spec.ai_cores + 1, "x", |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn kernel_error_propagates() {
+        let (spec, gm) = setup();
+        let err = launch(&spec, &gm, 1, "fail", |ctx| {
+            // UB on the tiny chip is 16 KiB; ask for 1 MiB.
+            ctx.vecs[0]
+                .alloc_local::<f32>(ScratchpadKind::Ub, 1 << 18)
+                .map(|_| ())
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::ScratchpadOverflow { .. }));
+    }
+
+    #[test]
+    fn cube_and_vector_cores_cooperate() {
+        let (spec, gm) = setup();
+        let s = 4;
+        // A: 4x4 of ones; B: upper triangular ones -> row prefix sums.
+        let a_host = vec![1i8; s * s];
+        let b_host: Vec<i8> = (0..s * s)
+            .map(|i| if i / s <= i % s { 1 } else { 0 })
+            .collect();
+        let a = GlobalTensor::from_slice(&gm, &a_host).unwrap();
+        let b = GlobalTensor::from_slice(&gm, &b_host).unwrap();
+        let c = GlobalTensor::<i32>::new(&gm, s * s).unwrap();
+        let out = GlobalTensor::<i32>::new(&gm, s * s).unwrap();
+
+        launch(&spec, &gm, 1, "mix", |ctx| {
+            // Cube: C = A @ B, write to GM.
+            let cube = &mut ctx.cube;
+            let mut la = cube.alloc_local::<i8>(ScratchpadKind::L0A, s * s)?;
+            let mut lb = cube.alloc_local::<i8>(ScratchpadKind::L0B, s * s)?;
+            let mut lc = cube.alloc_local::<i32>(ScratchpadKind::L0C, s * s)?;
+            cube.copy_in(&mut la, 0, &a, 0, s * s, &[])?;
+            cube.copy_in(&mut lb, 0, &b, 0, s * s, &[])?;
+            cube.mmad::<i8>(&mut lc, &mut la, &mut lb, s, s, s, false)?;
+            let cube_done = cube.copy_out(&c, 0, &lc, 0, s * s, &[])?;
+
+            // Vector: read the cube's result (cross-core dep), add 100.
+            let v = &mut ctx.vecs[0];
+            let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, s * s)?;
+            v.copy_in(&mut buf, 0, &c, 0, s * s, &[cube_done])?;
+            v.vadds(&mut buf, 0, s * s, 100, 0)?;
+            v.copy_out(&out, 0, &buf, 0, s * s, &[])?;
+            Ok(())
+        })
+        .unwrap();
+
+        let result = out.to_vec();
+        assert_eq!(&result[..4], &[101, 102, 103, 104]);
+        assert_eq!(&result[12..], &[101, 102, 103, 104]);
+    }
+}

@@ -1,0 +1,669 @@
+//! A single simulated core (AIC or AIV) and its non-vector intrinsics:
+//! local-memory allocation, MTE transfers, the cube `Mmad`, and scalar-
+//! unit work. Vector-engine intrinsics live in [`crate::vecops`].
+
+use crate::tensor::{GlobalTensor, LocalTensor};
+use ascend_sim::chip::ScratchpadKind;
+use ascend_sim::{ChipSpec, CoreKind, CoreTimeline, EngineKind, EventTime, SimError, SimResult};
+use dtypes::{CubeInput, Element, Numeric};
+
+/// Comparison modes for the vector `Compare` intrinsic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpMode {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+const NUM_SCRATCHPADS: usize = 5;
+
+fn pad_index(pos: ScratchpadKind) -> usize {
+    match pos {
+        ScratchpadKind::Ub => 0,
+        ScratchpadKind::L1 => 1,
+        ScratchpadKind::L0A => 2,
+        ScratchpadKind::L0B => 3,
+        ScratchpadKind::L0C => 4,
+    }
+}
+
+/// One simulated core: compute engine(s) + MTEs + scalar unit + local
+/// scratchpads. Obtained from [`crate::BlockCtx`]; every intrinsic both
+/// performs its real data work and advances this core's timeline.
+pub struct Core<'a> {
+    pub(crate) kind: CoreKind,
+    pub(crate) timeline: CoreTimeline,
+    pub(crate) spec: &'a ChipSpec,
+    scratch_used: [usize; NUM_SCRATCHPADS],
+}
+
+impl<'a> Core<'a> {
+    pub(crate) fn new(kind: CoreKind, spec: &'a ChipSpec, start: EventTime) -> Self {
+        Core {
+            kind,
+            timeline: CoreTimeline::new(kind, start),
+            spec,
+            scratch_used: [0; NUM_SCRATCHPADS],
+        }
+    }
+
+    /// The core's kind (cube or vector).
+    pub fn kind(&self) -> CoreKind {
+        self.kind
+    }
+
+    /// The chip specification the core runs under.
+    pub fn spec(&self) -> &ChipSpec {
+        self.spec
+    }
+
+    /// The core's current completion horizon in cycles.
+    pub fn now(&self) -> EventTime {
+        self.timeline.now()
+    }
+
+    /// Advances the whole core to at least `t` (waiting on a cross-core
+    /// event, e.g. "vector core waits for cube core").
+    pub fn wait(&mut self, t: EventTime) {
+        self.timeline.align_to(t);
+    }
+
+    pub(crate) fn timeline_mut(&mut self) -> &mut CoreTimeline {
+        &mut self.timeline
+    }
+
+    pub(crate) fn timeline(&self) -> &CoreTimeline {
+        &self.timeline
+    }
+
+    fn check_pos_on_core(&self, what: &'static str, pos: ScratchpadKind) -> SimResult<()> {
+        let ok = match self.kind {
+            CoreKind::Vector => pos == ScratchpadKind::Ub,
+            CoreKind::Cube => pos != ScratchpadKind::Ub,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SimError::WrongCore {
+                instr: what,
+                core: self.kind.name(),
+            })
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Local memory management
+    // ---------------------------------------------------------------
+
+    /// Allocates a local tensor of `len` elements in the scratchpad `pos`,
+    /// with capacity checking. Buffers live until [`Core::free_local`]
+    /// (AscendC kernels allocate their buffers once up front via `TPipe`;
+    /// the same style is used here).
+    pub fn alloc_local<T: Element>(
+        &mut self,
+        pos: ScratchpadKind,
+        len: usize,
+    ) -> SimResult<LocalTensor<T>> {
+        self.check_pos_on_core("alloc_local", pos)?;
+        let bytes = len * T::SIZE;
+        let idx = pad_index(pos);
+        let cap = self.spec.scratchpad_capacity(pos);
+        if self.scratch_used[idx] + bytes > cap {
+            return Err(SimError::ScratchpadOverflow {
+                buffer: pos.name(),
+                requested: bytes,
+                in_use: self.scratch_used[idx],
+                capacity: cap,
+            });
+        }
+        self.scratch_used[idx] += bytes;
+        Ok(LocalTensor::new(pos, len, 0))
+    }
+
+    /// Releases a local tensor's scratchpad space.
+    pub fn free_local<T: Element>(&mut self, t: LocalTensor<T>) {
+        let idx = pad_index(t.pos);
+        self.scratch_used[idx] = self.scratch_used[idx].saturating_sub(t.len() * T::SIZE);
+    }
+
+    /// Bytes currently allocated in the given scratchpad.
+    pub fn scratch_in_use(&self, pos: ScratchpadKind) -> usize {
+        self.scratch_used[pad_index(pos)]
+    }
+
+    // ---------------------------------------------------------------
+    // MTE transfers
+    // ---------------------------------------------------------------
+
+    /// `DataCopy` GM → local: moves `len` contiguous elements from
+    /// `src[src_off..]` into `dst[dst_off..]` on the MTE2 engine.
+    ///
+    /// `deps` carries extra cross-core dependencies (e.g. the completion
+    /// time of the producer that wrote `src` from another core).
+    pub fn copy_in<T: Element>(
+        &mut self,
+        dst: &mut LocalTensor<T>,
+        dst_off: usize,
+        src: &GlobalTensor<T>,
+        src_off: usize,
+        len: usize,
+        deps: &[EventTime],
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("copy_in", dst.pos)?;
+        dst.check_range("copy_in dst", dst_off, len)?;
+        src.device_read(src_off, &mut dst.data[dst_off..dst_off + len])?;
+        let cost = self.spec.cost_datacopy(len * T::SIZE);
+        let mut all_deps = vec![dst.ready];
+        all_deps.extend_from_slice(deps);
+        let done = self.timeline.exec(EngineKind::Mte2, cost, &all_deps)?;
+        dst.ready = done;
+        Ok(done)
+    }
+
+    /// `DataCopy` GM → local with a row stride on the global side: copies
+    /// `rows` rows of `cols` elements each; row `r` starts at
+    /// `src_off + r * src_stride` in `src` and lands contiguously in `dst`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_in_2d<T: Element>(
+        &mut self,
+        dst: &mut LocalTensor<T>,
+        src: &GlobalTensor<T>,
+        src_off: usize,
+        rows: usize,
+        cols: usize,
+        src_stride: usize,
+        deps: &[EventTime],
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("copy_in_2d", dst.pos)?;
+        dst.check_range("copy_in_2d dst", 0, rows * cols)?;
+        for r in 0..rows {
+            src.device_read(
+                src_off + r * src_stride,
+                &mut dst.data[r * cols..(r + 1) * cols],
+            )?;
+        }
+        // Strided rows pay line-granularity bandwidth: charge the wasted
+        // part of each line both in time and in the traffic accounting.
+        let row_bytes = cols * T::SIZE;
+        let padded = self.spec.strided_row_bytes(row_bytes);
+        if padded > row_bytes && src_stride != cols {
+            src.account_read_padding((rows * (padded - row_bytes)) as u64);
+        }
+        let cost = if src_stride == cols {
+            self.spec.cost_datacopy(rows * row_bytes)
+        } else {
+            self.spec.cost_datacopy_strided(rows, row_bytes)
+        };
+        let mut all_deps = vec![dst.ready];
+        all_deps.extend_from_slice(deps);
+        let done = self.timeline.exec(EngineKind::Mte2, cost, &all_deps)?;
+        dst.ready = done;
+        Ok(done)
+    }
+
+    /// `DataCopy` local → GM with a row stride on the local side: writes
+    /// `rows` rows of `cols` elements, where row `r` is read from
+    /// `src[src_off + r * src_stride ..]` and lands contiguously in
+    /// `dst[dst_off ..]`. One instruction; rows pay line-granularity
+    /// bandwidth when strided (e.g. extracting the row-sum column of an
+    /// L0C accumulator).
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_out_2d<T: Element>(
+        &mut self,
+        dst: &GlobalTensor<T>,
+        dst_off: usize,
+        src: &LocalTensor<T>,
+        src_off: usize,
+        rows: usize,
+        cols: usize,
+        src_stride: usize,
+        deps: &[EventTime],
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("copy_out_2d", src.pos)?;
+        for r in 0..rows {
+            src.check_range("copy_out_2d src", src_off + r * src_stride, cols)?;
+            let start = src_off + r * src_stride;
+            dst.device_write(dst_off + r * cols, &src.data[start..start + cols])?;
+        }
+        let engine = if src.pos == ScratchpadKind::L0C {
+            EngineKind::Fixp
+        } else {
+            EngineKind::Mte3
+        };
+        let row_bytes = cols * T::SIZE;
+        let cost = if src_stride == cols {
+            self.spec.cost_datacopy(rows * row_bytes)
+        } else {
+            self.spec.cost_datacopy_strided(rows, row_bytes)
+        };
+        let mut all_deps = vec![src.ready];
+        all_deps.extend_from_slice(deps);
+        self.timeline.exec(engine, cost, &all_deps)
+    }
+
+    /// `DataCopy` local → GM on MTE3 (UB/L1 sources) or the FIXP pipe
+    /// (L0C sources). Returns the completion time — pass it to another
+    /// core's `deps` to model cross-core hand-off through global memory.
+    pub fn copy_out<T: Element>(
+        &mut self,
+        dst: &GlobalTensor<T>,
+        dst_off: usize,
+        src: &LocalTensor<T>,
+        src_off: usize,
+        len: usize,
+        deps: &[EventTime],
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("copy_out", src.pos)?;
+        src.check_range("copy_out src", src_off, len)?;
+        dst.device_write(dst_off, &src.data[src_off..src_off + len])?;
+        let engine = if src.pos == ScratchpadKind::L0C {
+            EngineKind::Fixp
+        } else {
+            EngineKind::Mte3
+        };
+        let cost = self.spec.cost_datacopy(len * T::SIZE);
+        let mut all_deps = vec![src.ready];
+        all_deps.extend_from_slice(deps);
+        self.timeline.exec(engine, cost, &all_deps)
+    }
+
+    /// `DataCopy` local → GM with dtype conversion on the way out (the
+    /// FIXP pipe's quantization path, e.g. f32 accumulator → f16 result).
+    pub fn copy_out_cast<S: Numeric, D: Numeric>(
+        &mut self,
+        dst: &GlobalTensor<D>,
+        dst_off: usize,
+        src: &LocalTensor<S>,
+        src_off: usize,
+        len: usize,
+        deps: &[EventTime],
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("copy_out_cast", src.pos)?;
+        src.check_range("copy_out_cast src", src_off, len)?;
+        let converted: Vec<D> = src.data[src_off..src_off + len]
+            .iter()
+            .map(|v| D::from_f64(v.to_f64()))
+            .collect();
+        dst.device_write(dst_off, &converted)?;
+        let engine = if src.pos == ScratchpadKind::L0C {
+            EngineKind::Fixp
+        } else {
+            EngineKind::Mte3
+        };
+        let cost = self.spec.cost_datacopy(len * D::SIZE.max(S::SIZE));
+        let mut all_deps = vec![src.ready];
+        all_deps.extend_from_slice(deps);
+        self.timeline.exec(engine, cost, &all_deps)
+    }
+
+    /// Local → local copy: L1 → L0A/L0B rides MTE1 (cube cores); UB → UB
+    /// rides the vector engine (vector cores).
+    pub fn copy_local<T: Element>(
+        &mut self,
+        dst: &mut LocalTensor<T>,
+        dst_off: usize,
+        src: &LocalTensor<T>,
+        src_off: usize,
+        len: usize,
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("copy_local", dst.pos)?;
+        self.check_pos_on_core("copy_local", src.pos)?;
+        dst.check_range("copy_local dst", dst_off, len)?;
+        src.check_range("copy_local src", src_off, len)?;
+        let (engine, cost) = match self.kind {
+            CoreKind::Cube => (EngineKind::Mte1, self.spec.cost_datacopy(len * T::SIZE)),
+            CoreKind::Vector => (EngineKind::Vec, self.spec.cost_vector_op(len * T::SIZE)),
+        };
+        dst.data[dst_off..dst_off + len].copy_from_slice(&src.data[src_off..src_off + len]);
+        let done = self
+            .timeline
+            .exec(engine, cost, &[dst.ready, src.ready])?;
+        dst.ready = done;
+        Ok(done)
+    }
+
+    /// Local → local copy with dtype conversion (L0C f32 → L1 f16 staging
+    /// used by ScanUL1's `Copy C1 from L0C to L1`).
+    pub fn copy_local_cast<S: Numeric, D: Numeric>(
+        &mut self,
+        dst: &mut LocalTensor<D>,
+        dst_off: usize,
+        src: &LocalTensor<S>,
+        src_off: usize,
+        len: usize,
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("copy_local_cast", dst.pos)?;
+        self.check_pos_on_core("copy_local_cast", src.pos)?;
+        dst.check_range("copy_local_cast dst", dst_off, len)?;
+        src.check_range("copy_local_cast src", src_off, len)?;
+        for i in 0..len {
+            dst.data[dst_off + i] = D::from_f64(src.data[src_off + i].to_f64());
+        }
+        let engine = if src.pos == ScratchpadKind::L0C {
+            EngineKind::Fixp
+        } else if self.kind == CoreKind::Cube {
+            EngineKind::Mte1
+        } else {
+            EngineKind::Vec
+        };
+        let cost = self.spec.cost_datacopy(len * S::SIZE.max(D::SIZE));
+        let done = self
+            .timeline
+            .exec(engine, cost, &[dst.ready, src.ready])?;
+        dst.ready = done;
+        Ok(done)
+    }
+
+    /// Fills `t[off..off+len]` with a constant (AscendC `InitConstValue`
+    /// for L0/L1 buffers, `Duplicate` for UB). Used to zero-pad partial
+    /// tiles before a matmul.
+    pub fn fill_local<T: Element>(
+        &mut self,
+        t: &mut LocalTensor<T>,
+        off: usize,
+        len: usize,
+        value: T,
+    ) -> SimResult<EventTime> {
+        self.check_pos_on_core("fill_local", t.pos)?;
+        t.check_range("fill_local", off, len)?;
+        for v in &mut t.data[off..off + len] {
+            *v = value;
+        }
+        let (engine, cost) = match self.kind {
+            CoreKind::Cube => (EngineKind::Mte2, self.spec.cost_datacopy(len * T::SIZE)),
+            CoreKind::Vector => (EngineKind::Vec, self.spec.cost_vector_op(len * T::SIZE)),
+        };
+        let done = self.timeline.exec(engine, cost, &[t.ready])?;
+        t.ready = done;
+        Ok(done)
+    }
+
+    // ---------------------------------------------------------------
+    // Cube engine
+    // ---------------------------------------------------------------
+
+    /// `Mmad`: `C (+)= A @ B` on the cube engine, where `A` is an
+    /// `m x k` row-major tile in L0A, `B` a `k x n` tile in L0B, and `C`
+    /// an `m x n` tile in L0C holding the accumulator type.
+    ///
+    /// With `accumulate = false` the output is overwritten, with `true`
+    /// the product is added into the existing accumulator contents (the
+    /// cube unit's accumulation-buffer feature exploited by ScanUL1).
+    ///
+    /// The functional result uses exact widening MACs (fp16 → f32,
+    /// int8 → i32) with `k` ascending, matching the hardware datapath.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mmad<T: CubeInput>(
+        &mut self,
+        c: &mut LocalTensor<T::Acc>,
+        a: &mut LocalTensor<T>,
+        b: &mut LocalTensor<T>,
+        m: usize,
+        k: usize,
+        n: usize,
+        accumulate: bool,
+    ) -> SimResult<EventTime> {
+        if self.kind != CoreKind::Cube {
+            return Err(SimError::WrongCore {
+                instr: "Mmad",
+                core: self.kind.name(),
+            });
+        }
+        if a.pos != ScratchpadKind::L0A || b.pos != ScratchpadKind::L0B || c.pos != ScratchpadKind::L0C
+        {
+            return Err(SimError::InvalidArgument(format!(
+                "Mmad operands must be in L0A/L0B/L0C (got {}/{}/{})",
+                a.pos.name(),
+                b.pos.name(),
+                c.pos.name()
+            )));
+        }
+        a.check_range("Mmad A", 0, m * k)?;
+        b.check_range("Mmad B", 0, k * n)?;
+        c.check_range("Mmad C", 0, m * n)?;
+
+        mmad_functional::<T>(&mut c.data, &a.data, &b.data, m, k, n, accumulate);
+
+        let cost = self.spec.cost_mmad(m, k, n, T::CUBE_RATE_X4);
+        let done = self
+            .timeline
+            .exec(EngineKind::Cube, cost, &[a.ready, b.ready, c.ready])?;
+        c.ready = done;
+        // Mark the inputs busy until the multiply retires: a subsequent
+        // reload of a single-buffered L0A/L0B operand (ScanUL1's Line 9
+        // and Line 11) must serialize behind this use (WAR hazard).
+        a.ready = done;
+        b.ready = done;
+        Ok(done)
+    }
+
+    // ---------------------------------------------------------------
+    // Scalar unit
+    // ---------------------------------------------------------------
+
+    /// Runs `n` scalar-unit operations (loop control, address/partial-sum
+    /// arithmetic) after `deps`. Returns the completion time.
+    pub fn scalar_ops(&mut self, n: u64, deps: &[EventTime]) -> SimResult<EventTime> {
+        self.timeline
+            .exec(EngineKind::Scalar, n * self.spec.cost_scalar_op(), deps)
+    }
+}
+
+/// Functional matmul with structure-aware fast paths.
+///
+/// The scan kernels only ever multiply data tiles against the constant
+/// matrices `U_s` (upper-triangular ones), `1_s` (all ones) and `L_s^-`
+/// (strictly-lower-triangular ones). Detecting those patterns turns the
+/// O(m·k·n) kernel into an O(m·n) prefix-sum/broadcast — a pure simulator
+/// speed-up with bit-identical results, since the fast paths accumulate in
+/// the same (`k` ascending) order as the general loop.
+fn mmad_functional<T: CubeInput>(
+    c: &mut [T::Acc],
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    if !accumulate {
+        for slot in c[..m * n].iter_mut() {
+            *slot = T::Acc::zero();
+        }
+    }
+    // Fast path 1: B is upper-triangular ones (incl. diagonal), k == n.
+    // C[i][j] += sum_{p <= j} A[i][p]  — row-wise inclusive prefix sums.
+    if k == n && is_upper_ones(b, k) {
+        for i in 0..m {
+            let mut run = T::Acc::zero();
+            for j in 0..n {
+                run = run.add(a[i * k + j].widen());
+                c[i * n + j] = c[i * n + j].add(run);
+            }
+        }
+        return;
+    }
+    // Fast path 2: B is all ones. C[i][j] += rowsum(A[i]).
+    if is_all_ones(b, k * n) {
+        for i in 0..m {
+            let mut run = T::Acc::zero();
+            for p in 0..k {
+                run = run.add(a[i * k + p].widen());
+            }
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].add(run);
+            }
+        }
+        return;
+    }
+    // Fast path 3: A is strictly-lower-triangular ones, m == k.
+    // C[i][j] += sum_{p < i} B[p][j] — column-wise exclusive prefix sums.
+    if m == k && is_strict_lower_ones(a, m) {
+        let mut run = vec![T::Acc::zero(); n];
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].add(run[j]);
+            }
+            if i + 1 < m {
+                for j in 0..n {
+                    run[j] = run[j].add(b[i * n + j].widen());
+                }
+            }
+        }
+        return;
+    }
+    // General path.
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].add(T::mac(av, b[p * n + j]));
+            }
+        }
+    }
+}
+
+fn is_upper_ones<T: Numeric>(b: &[T], s: usize) -> bool {
+    if b.len() < s * s {
+        return false;
+    }
+    for i in 0..s {
+        for j in 0..s {
+            let expect = if i <= j { T::one() } else { T::zero() };
+            if b[i * s + j] != expect {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn is_all_ones<T: Numeric>(b: &[T], len: usize) -> bool {
+    b.len() >= len && b[..len].iter().all(|&v| v == T::one())
+}
+
+fn is_strict_lower_ones<T: Numeric>(a: &[T], s: usize) -> bool {
+    if a.len() < s * s {
+        return false;
+    }
+    for i in 0..s {
+        for j in 0..s {
+            let expect = if i > j { T::one() } else { T::zero() };
+            if a[i * s + j] != expect {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtypes::F16;
+
+    /// Reference matmul: plain triple loop, no fast paths.
+    fn reference<T: CubeInput>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T::Acc> {
+        let mut c = vec![T::Acc::zero(); m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = T::Acc::zero();
+                for p in 0..k {
+                    acc = acc.add(T::mac(a[i * k + p], b[p * n + j]));
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn upper_ones_i8(s: usize) -> Vec<i8> {
+        (0..s * s)
+            .map(|idx| if idx / s <= idx % s { 1 } else { 0 })
+            .collect()
+    }
+
+    fn strict_lower_ones_i8(s: usize) -> Vec<i8> {
+        (0..s * s)
+            .map(|idx| if idx / s > idx % s { 1 } else { 0 })
+            .collect()
+    }
+
+    #[test]
+    fn fast_path_upper_ones_matches_reference() {
+        let s = 8;
+        let a: Vec<i8> = (0..s * s).map(|i| (i % 7) as i8 - 3).collect();
+        let b = upper_ones_i8(s);
+        let mut c = vec![0i32; s * s];
+        mmad_functional::<i8>(&mut c, &a, &b, s, s, s, false);
+        assert_eq!(c, reference::<i8>(&a, &b, s, s, s));
+    }
+
+    #[test]
+    fn fast_path_all_ones_matches_reference() {
+        let s = 8;
+        let a: Vec<i8> = (0..s * s).map(|i| (i % 5) as i8).collect();
+        let b = vec![1i8; s * s];
+        let mut c = vec![0i32; s * s];
+        mmad_functional::<i8>(&mut c, &a, &b, s, s, s, false);
+        assert_eq!(c, reference::<i8>(&a, &b, s, s, s));
+    }
+
+    #[test]
+    fn fast_path_strict_lower_matches_reference() {
+        let s = 8;
+        let a = strict_lower_ones_i8(s);
+        let b: Vec<i8> = (0..s * s).map(|i| (i % 9) as i8 - 4).collect();
+        let mut c = vec![0i32; s * s];
+        mmad_functional::<i8>(&mut c, &a, &b, s, s, s, false);
+        assert_eq!(c, reference::<i8>(&a, &b, s, s, s));
+    }
+
+    #[test]
+    fn general_path_and_accumulate() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<i8> = (0..m * k).map(|i| i as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|i| (i as i8) - 6).collect();
+        let mut c = vec![0i32; m * n];
+        mmad_functional::<i8>(&mut c, &a, &b, m, k, n, false);
+        let expect = reference::<i8>(&a, &b, m, k, n);
+        assert_eq!(c, expect);
+        // Accumulate doubles the result.
+        mmad_functional::<i8>(&mut c, &a, &b, m, k, n, true);
+        let doubled: Vec<i32> = expect.iter().map(|v| v * 2).collect();
+        assert_eq!(c, doubled);
+    }
+
+    #[test]
+    fn fp16_matmul_widens_to_f32() {
+        let s = 4;
+        let a: Vec<F16> = (0..s * s).map(|i| F16::from_f32(i as f32 * 0.5)).collect();
+        let b: Vec<F16> = (0..s * s)
+            .map(|i| if i / s <= i % s { F16::ONE } else { F16::ZERO })
+            .collect();
+        let mut c = vec![0f32; s * s];
+        mmad_functional::<F16>(&mut c, &a, &b, s, s, s, false);
+        assert_eq!(c, reference::<F16>(&a, &b, s, s, s));
+        // Row 0 of A is [0, .5, 1, 1.5]; prefix sums: [0, .5, 1.5, 3].
+        assert_eq!(&c[..4], &[0.0, 0.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn pattern_detectors() {
+        assert!(is_upper_ones(&upper_ones_i8(5), 5));
+        assert!(!is_upper_ones(&strict_lower_ones_i8(5), 5));
+        assert!(is_strict_lower_ones(&strict_lower_ones_i8(5), 5));
+        assert!(!is_strict_lower_ones(&upper_ones_i8(5), 5));
+        assert!(is_all_ones(&[1i8; 10], 10));
+        assert!(!is_all_ones(&upper_ones_i8(3), 9));
+    }
+}

@@ -1,0 +1,197 @@
+//! The AscendC queue (`TQue`) abstraction.
+//!
+//! Queues manage local-tensor buffers and make cross-engine data
+//! dependencies explicit: a producer allocates a tensor from the queue's
+//! buffer pool (`alloc_tensor`), writes it, and `enque`s it; the consumer
+//! `deque`s it, reads it, and `free_tensor`s it back to the pool. A queue
+//! of depth 2 is double buffering: the producer's iteration *i + 2* can
+//! only start once the consumer released iteration *i*'s buffer — the
+//! released buffer carries its release time, which the next producer
+//! instruction inherits as a dependency.
+
+use crate::core::Core;
+use crate::tensor::LocalTensor;
+use ascend_sim::chip::ScratchpadKind;
+use ascend_sim::{EventTime, SimError, SimResult};
+use dtypes::Element;
+use std::collections::VecDeque;
+
+/// A buffer queue binding a producer engine to a consumer engine.
+pub struct TQue<T: Element> {
+    pos: ScratchpadKind,
+    buf_elems: usize,
+    depth: usize,
+    free: VecDeque<LocalTensor<T>>,
+    queued: VecDeque<LocalTensor<T>>,
+}
+
+impl<T: Element> TQue<T> {
+    /// Creates a queue whose pool holds `depth` buffers of `buf_elems`
+    /// elements each in scratchpad `pos` (capacity-checked on `core`).
+    pub fn new(
+        core: &mut Core<'_>,
+        pos: ScratchpadKind,
+        depth: usize,
+        buf_elems: usize,
+    ) -> SimResult<Self> {
+        if depth == 0 {
+            return Err(SimError::InvalidArgument("TQue depth must be >= 1".into()));
+        }
+        let mut free = VecDeque::with_capacity(depth);
+        for _ in 0..depth {
+            free.push_back(core.alloc_local::<T>(pos, buf_elems)?);
+        }
+        Ok(TQue {
+            pos,
+            buf_elems,
+            depth,
+            free,
+            queued: VecDeque::new(),
+        })
+    }
+
+    /// The queue's buffer pool depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Elements per buffer.
+    pub fn buf_elems(&self) -> usize {
+        self.buf_elems
+    }
+
+    /// Takes a free buffer from the pool. The returned tensor's `ready`
+    /// time is when its previous consumer released it — so the producer
+    /// naturally stalls when the pipeline is full.
+    pub fn alloc_tensor(&mut self) -> SimResult<LocalTensor<T>> {
+        self.free
+            .pop_front()
+            .ok_or(SimError::QueueProtocol("alloc_tensor: buffer pool exhausted (missing free_tensor?)"))
+    }
+
+    /// Publishes a produced tensor to the consumer side.
+    pub fn enque(&mut self, t: LocalTensor<T>) -> SimResult<()> {
+        if t.position() != self.pos {
+            return Err(SimError::QueueProtocol("enque: tensor from a different scratchpad"));
+        }
+        if self.queued.len() + self.free.len() >= self.depth {
+            return Err(SimError::QueueProtocol("enque: queue over capacity"));
+        }
+        self.queued.push_back(t);
+        Ok(())
+    }
+
+    /// Takes the oldest published tensor (FIFO).
+    pub fn deque(&mut self) -> SimResult<LocalTensor<T>> {
+        self.queued
+            .pop_front()
+            .ok_or(SimError::QueueProtocol("deque: queue is empty (missing enque?)"))
+    }
+
+    /// Returns a consumed tensor's buffer to the pool; `release` is the
+    /// simulated time at which the consumer finished reading it.
+    pub fn free_tensor(&mut self, mut t: LocalTensor<T>, release: EventTime) {
+        t.ready = t.ready.max(release);
+        self.free.push_back(t);
+    }
+
+    /// Releases the queue's scratchpad reservation. All buffers must have
+    /// been returned to the pool.
+    pub fn destroy(mut self, core: &mut Core<'_>) -> SimResult<()> {
+        if self.free.len() != self.depth {
+            return Err(SimError::QueueProtocol("destroy: buffers still in flight"));
+        }
+        while let Some(t) = self.free.pop_front() {
+            core.free_local(t);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_sim::{ChipSpec, CoreKind};
+
+    fn with_core<R>(f: impl FnOnce(&mut Core<'_>) -> R) -> R {
+        let spec = ChipSpec::tiny();
+        let mut core = Core::new(CoreKind::Vector, &spec, 0);
+        f(&mut core)
+    }
+
+    #[test]
+    fn produce_consume_cycle() {
+        with_core(|core| {
+            let mut q = TQue::<f32>::new(core, ScratchpadKind::Ub, 2, 16).unwrap();
+            let t = q.alloc_tensor().unwrap();
+            q.enque(t).unwrap();
+            let t = q.deque().unwrap();
+            q.free_tensor(t, 100);
+            // The untouched pool buffer comes first, then the recycled
+            // buffer carrying its release time forward.
+            let fresh = q.alloc_tensor().unwrap();
+            assert_eq!(fresh.ready(), 0, "second pool buffer never used");
+            let recycled = q.alloc_tensor().unwrap();
+            assert_eq!(recycled.ready(), 100);
+        });
+    }
+
+    #[test]
+    fn double_buffering_carries_release_times() {
+        with_core(|core| {
+            let mut q = TQue::<f32>::new(core, ScratchpadKind::Ub, 2, 16).unwrap();
+            let a = q.alloc_tensor().unwrap();
+            let b = q.alloc_tensor().unwrap();
+            assert!(q.alloc_tensor().is_err(), "pool exhausted at depth 2");
+            q.enque(a).unwrap();
+            q.enque(b).unwrap();
+            let a = q.deque().unwrap();
+            q.free_tensor(a, 500);
+            let recycled = q.alloc_tensor().unwrap();
+            assert_eq!(recycled.ready(), 500, "producer stalls on consumer");
+        });
+    }
+
+    #[test]
+    fn protocol_violations_error() {
+        with_core(|core| {
+            let mut q = TQue::<u8>::new(core, ScratchpadKind::Ub, 1, 8).unwrap();
+            assert!(q.deque().is_err(), "deque on empty queue");
+            let t = q.alloc_tensor().unwrap();
+            q.enque(t).unwrap();
+            let foreign = LocalTensor::<u8>::new(ScratchpadKind::L1, 8, 0);
+            assert!(q.enque(foreign).is_err(), "wrong scratchpad");
+            assert!(TQue::<u8>::new(core, ScratchpadKind::Ub, 0, 8).is_err());
+        });
+    }
+
+    #[test]
+    fn queue_allocation_respects_capacity() {
+        with_core(|core| {
+            // tiny chip UB = 16 KiB; 3 buffers of 4 Ki f32 = 48 KiB > cap.
+            let r = TQue::<f32>::new(core, ScratchpadKind::Ub, 3, 4096);
+            assert!(matches!(r, Err(SimError::ScratchpadOverflow { .. })));
+        });
+    }
+
+    #[test]
+    fn destroy_returns_capacity() {
+        with_core(|core| {
+            let before = core.scratch_in_use(ScratchpadKind::Ub);
+            let q = TQue::<f32>::new(core, ScratchpadKind::Ub, 2, 128).unwrap();
+            assert_eq!(core.scratch_in_use(ScratchpadKind::Ub), before + 1024);
+            q.destroy(core).unwrap();
+            assert_eq!(core.scratch_in_use(ScratchpadKind::Ub), before);
+        });
+    }
+
+    #[test]
+    fn destroy_with_in_flight_buffer_errors() {
+        with_core(|core| {
+            let mut q = TQue::<f32>::new(core, ScratchpadKind::Ub, 2, 16).unwrap();
+            let t = q.alloc_tensor().unwrap();
+            q.enque(t).unwrap();
+            assert!(q.destroy(core).is_err());
+        });
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion microbenches of the substrate layers: f16 conversion, the
+//! structure-aware functional matmul, global-memory transfers, queue
+//! plumbing and the launch machinery — the pieces every kernel is built
+//! from. Keeping these fast is what makes the paper-scale sweeps in the
+//! `figures` binary tractable.
+
+use ascend_sim::mem::GlobalMemory;
+use ascend_sim::{ChipSpec, CoreKind, CoreTimeline, EngineKind};
+use ascendc::{launch, GlobalTensor, ScratchpadKind};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dtypes::{F16, RadixKey};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_f16_conversion(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32 - 2048.0) * 0.37).collect();
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+    let mut g = c.benchmark_group("f16");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("from_f32", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for &v in &values {
+                acc = acc.wrapping_add(F16::from_f32(black_box(v)).to_bits());
+            }
+            acc
+        })
+    });
+    g.bench_function("to_f32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &h in &halves {
+                acc += black_box(h).to_f32();
+            }
+            acc
+        })
+    });
+    g.bench_function("radix_encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for &h in &halves {
+                acc = acc.wrapping_add(black_box(h).encode());
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timeline");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("exec_10k_instructions", |b| {
+        b.iter(|| {
+            let mut core = CoreTimeline::new(CoreKind::Vector, 0);
+            let mut dep = 0;
+            for _ in 0..10_000 {
+                dep = core.exec(EngineKind::Vec, 17, &[dep]).unwrap();
+            }
+            dep
+        })
+    });
+    g.finish();
+}
+
+fn bench_gm_transfers(c: &mut Criterion) {
+    let spec = ChipSpec::ascend_910b4();
+    let data = vec![F16::ONE; 1 << 16];
+    let mut g = c.benchmark_group("global_memory");
+    g.throughput(Throughput::Bytes((data.len() * 2) as u64));
+    g.bench_function("upload_download_128KB", |b| {
+        b.iter(|| {
+            let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+            let t = GlobalTensor::from_slice(&gm, &data).unwrap();
+            t.to_vec()
+        })
+    });
+    g.finish();
+}
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    let spec = ChipSpec::ascend_910b4();
+    let mut g = c.benchmark_group("launch");
+    g.sample_size(20);
+    g.bench_function("empty_kernel_20_blocks", |b| {
+        b.iter(|| {
+            let gm = Arc::new(GlobalMemory::new(1 << 20));
+            launch(&spec, &gm, spec.ai_cores, "noop", |_| Ok(())).unwrap()
+        })
+    });
+    g.bench_function("copy_kernel_1_block", |b| {
+        let gm = Arc::new(GlobalMemory::new(1 << 24));
+        let data = vec![0u8; 1 << 14];
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let y = GlobalTensor::<u8>::new(&gm, 1 << 14).unwrap();
+        b.iter(|| {
+            launch(&spec, &gm, 1, "copy", |ctx| {
+                let v = &mut ctx.vecs[0];
+                let mut buf = v.alloc_local::<u8>(ScratchpadKind::Ub, 1 << 14)?;
+                v.copy_in(&mut buf, 0, &x, 0, 1 << 14, &[])?;
+                v.copy_out(&y, 0, &buf, 0, 1 << 14, &[])?;
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrate,
+    bench_f16_conversion,
+    bench_timeline,
+    bench_gm_transfers,
+    bench_launch_overhead,
+);
+criterion_main!(substrate);

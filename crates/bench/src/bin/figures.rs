@@ -1,0 +1,518 @@
+//! Regenerates every table and figure of the paper's evaluation section
+//! on the simulated Ascend 910B4.
+//!
+//! ```text
+//! figures [fig3|fig5|fig8|fig9|fig10|fig11|fig12|fig13|speedup|topk|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the sweeps (for smoke tests); the default sweeps
+//! match the paper's ranges where feasible.
+
+use ascend_sim::{ChipSpec, KernelReport};
+use ascendc::GlobalTensor;
+use bench::{baseline_top_p, fresh_gm, human, sweep, synth_f16, synth_mask, synth_probs, Table};
+use dtypes::F16;
+use ops::{baselines, compress, radix_sort, topk, SortOrder};
+use scan::ablation::{mcscan_variant, McScanVariant};
+use scan::mcscan::{mcscan, McScanConfig, ScanKind};
+use scan::{batched_scanu, batched_scanul1, cumsum_vec_only, scanu, scanul1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let spec = ChipSpec::ascend_910b4();
+    println!("chip: {} ({} cube cores, {} vector cores, {:.0} GB/s HBM)\n",
+        spec.name, spec.ai_cores, spec.total_vec_cores(), spec.hbm_bytes_per_sec / 1e9);
+
+    match which {
+        "fig3" => fig3(&spec, quick),
+        "fig5" => fig5(&spec, quick),
+        "fig8" => fig8(&spec, quick),
+        "fig9" => fig9(&spec, quick),
+        "fig10" => fig10(&spec, quick),
+        "fig11" => fig11(&spec, quick),
+        "fig12" => fig12(&spec, quick),
+        "fig13" => fig13(&spec, quick),
+        "speedup" => speedup(&spec, quick),
+        "topk" => topk_experiment(&spec, quick),
+        "ablation" => ablation(&spec, quick),
+        "lowbit" => lowbit(&spec, quick),
+        "scaling" => scaling(&spec, quick),
+        "tiles" => tiles(quick),
+        "reduce" => reduce_experiment(&spec, quick),
+        "all" => {
+            fig3(&spec, quick);
+            fig5(&spec, quick);
+            fig8(&spec, quick);
+            fig9(&spec, quick);
+            fig10(&spec, quick);
+            fig11(&spec, quick);
+            fig12(&spec, quick);
+            fig13(&spec, quick);
+            speedup(&spec, quick);
+            topk_experiment(&spec, quick);
+            ablation(&spec, quick);
+            lowbit(&spec, quick);
+            scaling(&spec, quick);
+            tiles(quick);
+            reduce_experiment(&spec, quick);
+        }
+        other => {
+            eprintln!("unknown figure '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn us(r: &KernelReport) -> String {
+    format!("{:.1}", r.time_us())
+}
+
+/// Fig. 3 — single-core execution time: CumSum (vector-only) vs ScanU vs
+/// ScanUL1 (fp16, s = 128).
+fn fig3(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 3: single-core scans, execution time (us), fp16, s = 128 ==");
+    let sizes = if quick { sweep(1 << 12, 4, 4) } else { sweep(1 << 12, 4, 6) };
+    let mut t = Table::new(&["N", "vec_only", "ScanU", "ScanUL1", "U-speedup", "UL1-speedup"]);
+    let mut last = (0.0, 0.0);
+    for n in sizes {
+        let gm = fresh_gm(spec);
+        let data = vec![F16::ZERO; n];
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let b = cumsum_vec_only(spec, &gm, &x, 128, 1).unwrap().report;
+        let u = scanu::<F16, F16>(spec, &gm, &x, 128).unwrap().report;
+        let ul1 = scanul1::<F16, F16>(spec, &gm, &x, 128).unwrap().report;
+        last = (b.time_s() / u.time_s(), b.time_s() / ul1.time_s());
+        t.row(vec![
+            human(n),
+            us(&b),
+            us(&u),
+            us(&ul1),
+            format!("{:.2}x", last.0),
+            format!("{:.2}x", last.1),
+        ]);
+    }
+    t.print();
+    println!(
+        "  paper @ large N: ScanU ~5x, ScanUL1 ~9.6x vs vec-only; measured {:.2}x / {:.2}x\n",
+        last.0, last.1
+    );
+}
+
+/// Fig. 5 — batched ScanUL1 / ScanU time ratio heatmap (>1 ⇒ ScanU wins).
+fn fig5(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 5: batched scan time ratio ScanUL1 / ScanU (>1 means ScanU wins) ==");
+    let lens: Vec<usize> = if quick { vec![512, 4096, 32768] } else { vec![512, 2048, 8192, 32768, 65536] };
+    let batches: Vec<usize> = if quick { vec![4, 18, 40] } else { vec![2, 8, 16, 18, 20, 32, 40] };
+    let mut header: Vec<String> = vec!["batch \\ len".into()];
+    header.extend(lens.iter().map(|&l| human(l)));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for &b in &batches {
+        let mut row = vec![b.to_string()];
+        for &len in &lens {
+            let gm = fresh_gm(spec);
+            let data = vec![F16::ZERO; b * len];
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            let u = batched_scanu::<F16, F16>(spec, &gm, &x, b, len, 128).unwrap().report;
+            let ul1 = batched_scanul1::<F16, F16>(spec, &gm, &x, b, len, 128).unwrap().report;
+            row.push(format!("{:.2}", ul1.time_s() / u.time_s()));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("  paper: ScanU wins for batch > 18 & len < 4K; ScanUL1 wins for batch < 18 & len > 4K\n");
+}
+
+/// Fig. 8 — MCScan bandwidth (GB/s) vs input length for s = 32/64/128,
+/// with the torch.clone copy kernel as the roofline reference.
+fn fig8(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 8: MCScan bandwidth (GB/s), fp16, vs torch.clone (peak 800 GB/s) ==");
+    let sizes = if quick { sweep(1 << 16, 8, 3) } else { sweep(1 << 16, 4, 6) };
+    let mut t = Table::new(&["N", "s=32", "s=64", "s=128", "clone", "s128 %peak"]);
+    for n in sizes {
+        let data = vec![F16::ZERO; n];
+        let mut cells = vec![human(n)];
+        let mut frac = 0.0;
+        for s in [32usize, 64, 128] {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            let r = mcscan::<F16, F16, F16>(
+                spec,
+                &gm,
+                &x,
+                McScanConfig { s, blocks: spec.ai_cores, kind: ScanKind::Inclusive },
+            )
+            .unwrap()
+            .report;
+            if s == 128 {
+                frac = r.fraction_of_peak(spec);
+            }
+            cells.push(format!("{:.0}", r.gbps()));
+        }
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let (_, c) = baselines::clone(spec, &gm, &x).unwrap();
+        cells.push(format!("{:.0}", c.gbps()));
+        cells.push(format!("{:.1}%", frac * 100.0));
+        t.row(cells);
+    }
+    t.print();
+    println!("  paper: MCScan reaches up to 37.5% of peak; larger s is faster; copy nears peak under L2\n");
+}
+
+/// Fig. 9 — MCScan GElems/s for fp16 vs int8 inputs (s = 128).
+fn fig9(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 9: MCScan giga-elements/s, fp16 vs int8 (s = 128) ==");
+    let sizes = if quick { sweep(1 << 18, 8, 3) } else { sweep(1 << 18, 4, 5) };
+    let mut t = Table::new(&["N", "fp16", "int8", "int8 gain"]);
+    for n in sizes {
+        let cfg = McScanConfig { s: 128, blocks: spec.ai_cores, kind: ScanKind::Inclusive };
+        let gm = fresh_gm(spec);
+        let xf = GlobalTensor::from_slice(&gm, &vec![F16::ZERO; n]).unwrap();
+        let rf = mcscan::<F16, F16, F16>(spec, &gm, &xf, cfg).unwrap().report;
+        let gm = fresh_gm(spec);
+        let xi = GlobalTensor::from_slice(&gm, &vec![1u8; n]).unwrap();
+        let ri = mcscan::<u8, i16, i32>(spec, &gm, &xi, cfg).unwrap().report;
+        t.row(vec![
+            human(n),
+            format!("{:.2}", rf.gelems()),
+            format!("{:.2}", ri.gelems()),
+            format!("{:.2}x", ri.gelems() / rf.gelems()),
+        ]);
+    }
+    t.print();
+    println!("  paper: ~10% more elements/s for int8 inputs\n");
+}
+
+/// Fig. 10 — Compress bandwidth vs torch.masked_select (Bernoulli(1/2)).
+fn fig10(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 10: compress (masked_select) bandwidth (GB/s), fp16 values ==");
+    let sizes = if quick { sweep(1 << 16, 8, 3) } else { sweep(1 << 16, 4, 5) };
+    let mut t = Table::new(&["N", "s=32", "s=64", "s=128", "torch.masked_select"]);
+    for n in sizes {
+        let vals = synth_f16(n, 1);
+        let mask = synth_mask(n, 2);
+        let mut cells = vec![human(n)];
+        for s in [32usize, 64, 128] {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+            let m = GlobalTensor::from_slice(&gm, &mask).unwrap();
+            let r = compress(spec, &gm, &x, &m, s, spec.ai_cores).unwrap().report;
+            cells.push(format!("{:.0}", r.gbps()));
+        }
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+        let m = GlobalTensor::from_slice(&gm, &mask).unwrap();
+        let (_, b) = baselines::masked_select(spec, &gm, &x, &m).unwrap();
+        cells.push(format!("{:.1}", b.gbps()));
+        t.row(cells);
+    }
+    t.print();
+    println!("  paper: compress reaches ~160 GB/s (20% of peak); the baseline is scalar-bound and flat\n");
+}
+
+/// Fig. 11 — fp16 radix sort (MCScan splits) vs torch.sort.
+fn fig11(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 11: fp16 sort, execution time (ms): radix sort (s = 128) vs torch.sort ==");
+    let sizes: Vec<usize> = if quick {
+        vec![1 << 16, 1 << 19, 1 << 21]
+    } else {
+        vec![1 << 16, 1 << 18, 525_000, 1 << 20, 1 << 22, 1 << 24]
+    };
+    let mut t = Table::new(&["N", "radix sort", "torch.sort", "speedup"]);
+    for n in sizes {
+        let vals = synth_f16(n, 3);
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+        let r = radix_sort::<F16>(spec, &gm, &x, 128, spec.ai_cores, SortOrder::Ascending)
+            .unwrap()
+            .report;
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+        let (_, _, b) = baselines::sort::<F16>(spec, &gm, &x, false).unwrap();
+        t.row(vec![
+            human(n),
+            format!("{:.2}", r.time_ms()),
+            format!("{:.2}", b.time_ms()),
+            format!("{:.2}x", b.time_s() / r.time_s()),
+        ]);
+    }
+    t.print();
+    println!("  paper: 1.3x-3.3x speedup for N > 525K; baseline wins below\n");
+}
+
+/// Fig. 12 — batched-scan bandwidth vs batch size (len = 65536).
+fn fig12(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 12: batched scan (ScanU schedule) bandwidth (GB/s), len = 64K ==");
+    let len = 65536usize;
+    let batches: Vec<usize> = if quick { vec![4, 16, 40] } else { vec![1, 2, 4, 8, 16, 24, 32, 40] };
+    let mut t = Table::new(&["batch", "s=16", "s=32", "s=64", "s=128", "baseline"]);
+    for &b in &batches {
+        let data = vec![F16::ZERO; b * len];
+        let mut cells = vec![b.to_string()];
+        for s in [16usize, 32, 64, 128] {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            let r = batched_scanu::<F16, F16>(spec, &gm, &x, b, len, s).unwrap().report;
+            cells.push(format!("{:.0}", r.gbps()));
+        }
+        // torch.cumsum baseline over the same batch: row-parallel
+        // vector-only scans across all vector cores.
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let base = bench::batched_cumsum_baseline(spec, &gm, &x, b, len).unwrap();
+        cells.push(format!("{:.0}", base.gbps()));
+        t.row(cells);
+    }
+    t.print();
+    println!("  paper: s = 64/128 reach ~400 GB/s; s = 16 performs like the baseline\n");
+}
+
+/// Fig. 13 — top-p sampling time vs vocabulary size (batch 1).
+fn fig13(spec: &ChipSpec, quick: bool) {
+    println!("== Figure 13: top-p (nucleus) sampling time (ms), one sample ==");
+    let sizes = if quick { sweep(1 << 10, 16, 3) } else { sweep(1 << 10, 4, 6) };
+    let mut t = Table::new(&["vocab", "s=32", "s=64", "s=128", "PyTorch", "s128 speedup"]);
+    for n in sizes {
+        let probs = synth_probs(n, 9);
+        let mut cells = vec![human(n)];
+        let mut ours128 = 0.0;
+        for s in [32usize, 64, 128] {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &probs).unwrap();
+            let r = ops::top_p_sample(spec, &gm, &x, 0.9, 0.37, s, spec.ai_cores)
+                .unwrap()
+                .report;
+            if s == 128 {
+                ours128 = r.time_s();
+            }
+            cells.push(format!("{:.2}", r.time_ms()));
+        }
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &probs).unwrap();
+        let (_, b) = baseline_top_p(spec, &gm, &x, 0.9, 0.37).unwrap();
+        cells.push(format!("{:.2}", b.time_ms()));
+        cells.push(format!("{:.2}x", b.time_s() / ours128));
+        t.row(cells);
+    }
+    t.print();
+    println!("  paper: the baseline scales poorly (unoptimized cumsum); ours flat-ish until the sort dominates\n");
+}
+
+/// §6.1 text — MCScan speedup over single-core ScanU (saturates ~15.2x).
+fn speedup(spec: &ChipSpec, quick: bool) {
+    println!("== MCScan vs single-cube ScanU speedup (paper: saturates at 15.2x on 20 cores) ==");
+    let sizes = if quick { sweep(1 << 18, 8, 3) } else { sweep(1 << 18, 4, 5) };
+    let mut t = Table::new(&["N", "ScanU (us)", "MCScan (us)", "speedup"]);
+    for n in sizes {
+        let data = vec![F16::ZERO; n];
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let u = scanu::<F16, F16>(spec, &gm, &x, 128).unwrap().report;
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let mc = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))
+            .unwrap()
+            .report;
+        t.row(vec![
+            human(n),
+            us(&u),
+            us(&mc),
+            format!("{:.1}x", u.time_s() / mc.time_s()),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// §5 text — the top-k negative result: SplitInd-based top-k does not
+/// beat the baseline for k <= 4096.
+fn topk_experiment(spec: &ChipSpec, quick: bool) {
+    println!("== Top-k: SplitInd-based selection vs baseline torch.topk (paper: negative result for k <= 4096) ==");
+    let n = if quick { 1 << 18 } else { 1 << 20 };
+    let ks: Vec<usize> = if quick { vec![64, 4096] } else { vec![64, 256, 1024, 4096, 16384, 65536] };
+    let vals = synth_f16(n, 5);
+    let mut t = Table::new(&["k", "ours (ms)", "torch.topk (ms)", "ours/baseline"]);
+    for &k in &ks {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+        let r = topk::<F16>(spec, &gm, &x, k, 128, spec.ai_cores).unwrap().report;
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+        let (_, _, b) = baselines::topk_baseline::<F16>(spec, &gm, &x, k).unwrap();
+        t.row(vec![
+            k.to_string(),
+            format!("{:.2}", r.time_ms()),
+            format!("{:.2}", b.time_ms()),
+            format!("{:.2}x", r.time_s() / b.time_s()),
+        ]);
+    }
+    t.print();
+    println!("  (values > 1 mean the baseline wins, reproducing the paper's negative finding)\n");
+}
+
+/// Ablation of MCScan's recomputation strategy against the classic
+/// scan strategies of §2.1 (time in us; int8 -> i32, s = 128).
+fn ablation(spec: &ChipSpec, quick: bool) {
+    println!("== Ablation: MCScan recomputation vs classic strategies (us, int8, s = 128) ==");
+    let sizes = if quick { sweep(1 << 16, 16, 2) } else { sweep(1 << 16, 4, 5) };
+    let mut header = vec!["N".to_string()];
+    header.extend(McScanVariant::ALL.iter().map(|v| v.name().to_string()));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for n in sizes {
+        let data = vec![1i8; n];
+        let mut cells = vec![human(n)];
+        for v in McScanVariant::ALL {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            let cfg = McScanConfig { s: 128, blocks: spec.ai_cores, kind: ScanKind::Inclusive };
+            let r = mcscan_variant::<i8, i16, i32>(spec, &gm, &x, cfg, v).unwrap().report;
+            cells.push(format!("{:.1}", r.time_us()));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("  recomputation beats SSA everywhere and stays within ~10% of RSS (both move");
+    println!("  ~10 B/elem); unlike RSS it also avoids per-tile cube->vector flag traffic,");
+    println!("  which the timing model prices at zero but real silicon does not\n");
+}
+
+/// The paper's future-work expectation: low-bit-width sorting gets
+/// faster because radix passes equal the key width (8 passes vs 16).
+fn lowbit(spec: &ChipSpec, quick: bool) {
+    println!("== Low-precision sort: int8 (8 passes) vs fp16 (16 passes) radix sort (ms) ==");
+    let sizes = if quick { vec![1 << 18] } else { vec![1 << 18, 1 << 20, 1 << 22] };
+    let mut t = Table::new(&["N", "fp16 sort", "int8 sort", "gain"]);
+    for n in sizes {
+        let vals16 = synth_f16(n, 21);
+        let vals8: Vec<i8> = vals16.iter().map(|v| (v.to_f32() / 10.0) as i8).collect();
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vals16).unwrap();
+        let r16 = radix_sort::<F16>(spec, &gm, &x, 128, spec.ai_cores, SortOrder::Ascending)
+            .unwrap()
+            .report;
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vals8).unwrap();
+        let r8 = radix_sort::<i8>(spec, &gm, &x, 128, spec.ai_cores, SortOrder::Ascending)
+            .unwrap()
+            .report;
+        t.row(vec![
+            human(n),
+            format!("{:.2}", r16.time_ms()),
+            format!("{:.2}", r8.time_ms()),
+            format!("{:.2}x", r16.time_s() / r8.time_s()),
+        ]);
+    }
+    t.print();
+    println!("  paper (future work): ~2x expected for 8-bit keys without further development\n");
+}
+
+/// Core-count scaling of MCScan at a fixed large input: the structure
+/// behind the paper's "saturates at 15.2x with all 20 AI cores".
+fn scaling(spec: &ChipSpec, quick: bool) {
+    println!("== MCScan scaling with AI-core count (fp16, s = 128) ==");
+    let n = if quick { 4 << 20 } else { 16 << 20 };
+    let data = vec![F16::ZERO; n];
+    let mut t = Table::new(&["blocks", "time (us)", "GB/s", "vs 1 block"]);
+    let mut t1 = 0.0;
+    for blocks in [1u32, 2, 4, 8, 12, 16, 20] {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let r = mcscan::<F16, F16, F16>(
+            spec,
+            &gm,
+            &x,
+            McScanConfig { s: 128, blocks, kind: ScanKind::Inclusive },
+        )
+        .unwrap()
+        .report;
+        if blocks == 1 {
+            t1 = r.time_s();
+        }
+        t.row(vec![
+            blocks.to_string(),
+            format!("{:.1}", r.time_us()),
+            format!("{:.0}", r.gbps()),
+            format!("{:.1}x", t1 / r.time_s()),
+        ]);
+    }
+    t.print();
+    println!("  near-linear until the 5N-traffic roofline, then flat: more cores cannot");
+    println!("  buy bandwidth (N = {})\n", human(n));
+}
+
+/// The paper's future-work question: does a larger matmul tile help?
+/// Simulated by a hypothetical chip with doubled L0/UB scratchpads so
+/// s = 256 fits (on the real 910B4, s = 128 exactly fills L0A/L0B).
+fn tiles(quick: bool) {
+    println!("== Future work: larger matmul tiles on a hypothetical chip (2x L0/UB) ==");
+    let mut fat = ChipSpec::ascend_910b4();
+    fat.name = "910B4 + 2x scratchpads";
+    fat.l0a_capacity *= 2;
+    fat.l0b_capacity *= 2;
+    fat.l0c_capacity *= 4;
+    fat.ub_capacity *= 4;
+    fat.l1_capacity *= 2;
+    let n = if quick { 4 << 20 } else { 16 << 20 };
+    let data = vec![F16::ZERO; n];
+    let mut t = Table::new(&["s", "time (us)", "GB/s"]);
+    for s in [64usize, 128, 256] {
+        let gm = fresh_gm(&fat);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let r = mcscan::<F16, F16, F16>(
+            &fat,
+            &gm,
+            &x,
+            McScanConfig { s, blocks: fat.ai_cores, kind: ScanKind::Inclusive },
+        )
+        .unwrap()
+        .report;
+        t.row(vec![
+            s.to_string(),
+            format!("{:.1}", r.time_us()),
+            format!("{:.0}", r.gbps()),
+        ]);
+    }
+    t.print();
+    println!("  the paper conjectures further gains from bigger tiles; the model agrees but");
+    println!("  shows diminishing returns once the 5N-traffic roofline binds\n");
+}
+
+/// Reduction — the scan's sibling primitive from the Dakkak et al.
+/// lineage: cube row-sum reduction vs the vector-only baseline, both
+/// against the 1N-read roofline.
+fn reduce_experiment(spec: &ChipSpec, quick: bool) {
+    println!("== Reduction: cube (A @ 1s) vs vector-only, bandwidth (GB/s, fp16) ==");
+    let sizes = if quick { sweep(1 << 18, 16, 2) } else { sweep(1 << 18, 4, 5) };
+    let mut t = Table::new(&["N", "cube", "vector", "MCScan (ref)"]);
+    for n in sizes {
+        let data = vec![F16::ONE; n];
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let rc = scan::reduce_cube::<F16>(spec, &gm, &x, 128, spec.ai_cores).unwrap().report;
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let rv = scan::reduce_vec::<F16>(spec, &gm, &x, spec.ai_cores).unwrap().report;
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let ms = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))
+            .unwrap()
+            .report;
+        t.row(vec![
+            human(n),
+            format!("{:.0}", rc.gbps()),
+            format!("{:.0}", rv.gbps()),
+            format!("{:.0}", ms.gbps()),
+        ]);
+    }
+    t.print();
+    println!("  a reduction reads each element once and rides close to the copy roofline;");
+    println!("  both variants are bandwidth-bound, so the cube buys nothing here — matching");
+    println!("  Dakkak et al.'s finding that matrix engines help scans more than reductions\n");
+}

@@ -1,0 +1,276 @@
+//! Shared harness code for the figure-reproduction binary and the
+//! Criterion benches: size sweeps, table printing, and the composed
+//! baseline operators (e.g. the PyTorch top-p pipeline).
+
+use ascend_sim::mem::GlobalMemory;
+use ascend_sim::{ChipSpec, KernelReport};
+use ascendc::{GlobalTensor, SimResult};
+use dtypes::F16;
+use std::sync::Arc;
+
+/// Geometric size sweep: `count` sizes starting at `start`, each
+/// `factor`× the previous.
+pub fn sweep(start: usize, factor: usize, count: usize) -> Vec<usize> {
+    let mut v = Vec::with_capacity(count);
+    let mut n = start;
+    for _ in 0..count {
+        v.push(n);
+        n *= factor;
+    }
+    v
+}
+
+/// Pretty-prints a table: header + rows of fixed-width columns.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header's arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "table arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a count like `65536` as `64K` / `16M` for axis labels.
+pub fn human(n: usize) -> String {
+    if n >= 1 << 20 && n.is_multiple_of(1 << 20) {
+        format!("{}M", n >> 20)
+    } else if n >= 1 << 10 && n.is_multiple_of(1 << 10) {
+        format!("{}K", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+/// A fresh device for one measurement (new memory, same spec).
+pub fn fresh_gm(spec: &ChipSpec) -> Arc<GlobalMemory> {
+    Arc::new(GlobalMemory::new(spec.hbm_capacity))
+}
+
+/// Deterministic pseudo-random fp16 probabilities for sampling workloads
+/// (positive, roughly Zipf-ish so nucleus sampling is non-trivial).
+pub fn synth_probs(n: usize, seed: u64) -> Vec<F16> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let r = (state >> 40) as f32 / (1u64 << 24) as f32; // [0,1)
+            F16::from_f32(r / (1.0 + i as f32 * 0.01))
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random fp16 values over the full finite range.
+pub fn synth_f16(n: usize, seed: u64) -> Vec<F16> {
+    let mut state = seed.wrapping_mul(0xD134_2543_DE82_EF95) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            F16::from_f32(((state >> 40) as f32 / (1u64 << 23) as f32 - 1.0) * 1000.0)
+        })
+        .collect()
+}
+
+/// Deterministic Bernoulli(1/2) mask.
+pub fn synth_mask(n: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0xA076_1D64_78BD_642F) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 63) as u8
+        })
+        .collect()
+}
+
+/// The batched `torch.cumsum` baseline for Fig. 12: row-wise vector-only
+/// scans (Hillis–Steele per `s`-row + partial propagation), with batch
+/// rows spread over all vector cores — the stock operator parallelizes
+/// across the batch dimension but never touches the cube units.
+pub fn batched_cumsum_baseline(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    x: &GlobalTensor<F16>,
+    batch: usize,
+    len: usize,
+) -> SimResult<KernelReport> {
+    use ascend_sim::chip::ScratchpadKind;
+    let s = 128usize;
+    let piece = 4096usize;
+    let blocks = (spec.ai_cores as usize).min(batch.div_ceil(2).max(1)) as u32;
+    let y = GlobalTensor::<F16>::new(gm, batch * len)?;
+    let mut report = ascendc::launch(spec, gm, blocks, "torch.cumsum(batched)", |ctx| {
+        let lane0 = ctx.block_idx as usize * ctx.vecs.len();
+        let stride = ctx.block_dim as usize * ctx.vecs.len();
+        for v in 0..ctx.vecs.len() {
+            let vc = &mut ctx.vecs[v];
+            let mut q = ascendc::TQue::<F16>::new(vc, ScratchpadKind::Ub, 2, piece)?;
+            let mut tmp = vc.alloc_local::<F16>(ScratchpadKind::Ub, s)?;
+            for row in (lane0 + v..batch).step_by(stride) {
+                let base = row * len;
+                let mut partial = F16::ZERO;
+                let mut partial_ready = 0;
+                let mut off = 0;
+                while off < len {
+                    let valid = piece.min(len - off);
+                    let mut buf = q.alloc_tensor()?;
+                    vc.copy_in(&mut buf, 0, x, base + off, valid, &[])?;
+                    let mut ro = 0;
+                    while ro < valid {
+                        let rl = s.min(valid - ro);
+                        let mut shift = 1;
+                        while shift < rl {
+                            let span = rl - shift;
+                            vc.copy_local(&mut tmp, 0, &buf, ro, span)?;
+                            vc.vadd_inplace(&mut buf, ro + shift, &tmp, 0, span)?;
+                            shift *= 2;
+                        }
+                        vc.vadds(&mut buf, ro, rl, partial, partial_ready)?;
+                        let (p, pr) = vc.extract(&buf, ro + rl - 1)?;
+                        partial = p;
+                        partial_ready = pr;
+                        vc.scalar_ops(16, &[])?;
+                        ro += rl;
+                    }
+                    let ev = vc.copy_out(&y, base + off, &buf, 0, valid, &[])?;
+                    q.free_tensor(buf, ev);
+                    off += valid;
+                }
+            }
+            vc.free_local(tmp);
+            q.destroy(vc)?;
+        }
+        Ok(())
+    })?;
+    report.elements = (batch * len) as u64;
+    report.useful_bytes = (2 * batch * len * 2) as u64;
+    Ok(report)
+}
+
+/// The PyTorch-baseline top-p pipeline the paper's Fig. 13 measures:
+/// `torch.sort` + `torch.cumsum` + threshold + `torch.multinomial`,
+/// composed from the modeled baseline operators.
+pub fn baseline_top_p(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    probs: &GlobalTensor<F16>,
+    p: f64,
+    theta: f64,
+) -> SimResult<(u32, KernelReport)> {
+    let n = probs.len();
+    let (sorted_vals, sorted_idx, sort_report) =
+        ops::baselines::sort::<F16>(spec, gm, probs, true)?;
+    let (cdf, cumsum_report) = ops::baselines::cumsum::<F16>(spec, gm, &sorted_vals)?;
+
+    // Nucleus mask + renormalized draw, host-side as the torch code does
+    // between the profiled operator calls (the heavy operators dominate).
+    let cdf_host = cdf.to_vec();
+    let vals_host = sorted_vals.to_vec();
+    let total = cdf_host.last().map(|v| v.to_f64()).unwrap_or(0.0);
+    let mut kept = 0usize;
+    for i in 0..n {
+        let exclusive = cdf_host[i].to_f64() - vals_host[i].to_f64();
+        if exclusive <= p * total {
+            kept = i + 1;
+        } else {
+            break;
+        }
+    }
+    let kept = kept.max(1);
+    let kept_slice = sorted_vals.slice(0, kept)?;
+    let (pos, multinomial_report) = ops::baselines::multinomial(spec, gm, &kept_slice, theta)?;
+    let token = sorted_idx.read_range(pos, 1)?[0];
+
+    let mut report = KernelReport::sequential(
+        "torch top-p",
+        &[sort_report, cumsum_report, multinomial_report],
+    );
+    report.elements = n as u64;
+    report.useful_bytes = (n * 2) as u64;
+    Ok((token, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_geometric() {
+        assert_eq!(sweep(1024, 4, 3), vec![1024, 4096, 16384]);
+    }
+
+    #[test]
+    fn human_labels() {
+        assert_eq!(human(65536), "64K");
+        assert_eq!(human(16 << 20), "16M");
+        assert_eq!(human(1000), "1000");
+    }
+
+    #[test]
+    fn synth_data_is_deterministic() {
+        assert_eq!(synth_probs(100, 7), synth_probs(100, 7));
+        assert_ne!(synth_probs(100, 7), synth_probs(100, 8));
+        assert_eq!(synth_mask(1000, 1), synth_mask(1000, 1));
+        let ones: usize = synth_mask(10_000, 3).iter().map(|&b| b as usize).sum();
+        assert!((4000..6000).contains(&ones), "roughly balanced mask");
+        assert!(synth_probs(50, 2).iter().all(|p| p.to_f32() >= 0.0));
+    }
+
+    #[test]
+    fn baseline_top_p_samples_a_valid_token() {
+        let spec = ChipSpec::tiny();
+        let gm = fresh_gm(&spec);
+        let probs = synth_probs(500, 42);
+        let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
+        let (token, report) = baseline_top_p(&spec, &gm, &t, 0.9, 0.5).unwrap();
+        assert!((token as usize) < 500);
+        assert!(report.time_us() > 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["N", "GB/s"]);
+        t.row(vec!["64K".into(), "123.4".into()]);
+        t.print();
+    }
+}

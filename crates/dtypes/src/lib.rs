@@ -1,0 +1,23 @@
+//! Element types for the Ascend parallel-scan reproduction.
+//!
+//! The Ascend 910B cube unit natively multiplies `float16` matrices with
+//! `float32` accumulation and `int8` matrices with `int32` accumulation.
+//! The allowed dependency set contains no half-precision crate, so this
+//! crate provides a from-scratch IEEE-754 binary16 implementation ([`F16`])
+//! together with the type-level machinery the kernels need:
+//!
+//! * [`Element`] — anything that can live in simulator memory (sized,
+//!   byte-serializable, with a runtime [`DType`] tag);
+//! * [`Numeric`] — elements with arithmetic, used by scans and reductions;
+//! * [`CubeInput`] — element types accepted by the cube engine, with their
+//!   architectural accumulator type (`f16 → f32`, `i8 → i32`);
+//! * [`radix`] — order-preserving bit encodings used by the radix-sort
+//!   pre-/post-processing phases (Knuth §5.2.5, exercises 8 and 9).
+
+pub mod element;
+pub mod f16;
+pub mod radix;
+
+pub use element::{CubeInput, DType, Element, Numeric};
+pub use f16::F16;
+pub use radix::RadixKey;

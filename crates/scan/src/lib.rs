@@ -1,0 +1,70 @@
+//! Parallel prefix-sum (scan) algorithms for the Ascend architecture —
+//! the paper's primary contribution.
+//!
+//! All algorithms are built on one linear-algebra fact: if `A` is the
+//! row-major `s × s` matrix view of a vector tile, then `A @ U_s` (upper-
+//! triangular ones) computes the *local* scans of the tile's rows on the
+//! cube (matmul) engine. The variants differ in how partial sums are
+//! propagated and how work is spread over cores:
+//!
+//! * [`scanu::scanu`] — **ScanU** (Algorithm 1): one cube core computes
+//!   row-local scans, one vector core propagates partials per `s`-row.
+//! * [`scanul1::scanul1`] — **ScanUL1** (Algorithm 2): the cube evaluates
+//!   `scan(z) = A@U + L⁻@A@1` per `s²` tile using the accumulation
+//!   buffer; the vector core adds one partial per tile.
+//! * [`mcscan::mcscan`] — **MCScan** (Algorithm 3): a multi-core scan in
+//!   the Scan-Scan-Add family with *partial recomputation*: in phase 1
+//!   cube cores write tile-local scans while vector cores independently
+//!   recompute block reductions from the input; after a global barrier,
+//!   phase 2 scans the block reductions in each vector core's UB and
+//!   propagates. Supports inclusive/exclusive scans, fp16 and int8.
+//! * [`batched`] — batched variants of ScanU and ScanUL1 for
+//!   multi-dimensional inputs.
+//! * [`baseline::cumsum_vec_only`] — the vector-only `CumSum` kernel
+//!   standing in for the AscendC CumSum API / `torch.cumsum` baseline.
+//!
+//! Functional results are bit-exact products of the simulated engines;
+//! performance comes from the simulator's timing model ([`KernelReport`]).
+
+pub mod ablation;
+pub mod baseline;
+pub mod batched;
+pub mod mcscan;
+pub mod reduce;
+pub mod reference;
+pub mod scanu;
+pub mod scanul1;
+pub mod triangular;
+pub(crate) mod util;
+
+pub use ablation::{mcscan_variant, McScanVariant};
+pub use baseline::cumsum_vec_only;
+pub use batched::{batched_scanu, batched_scanul1};
+pub use mcscan::{mcscan, McScanConfig, ScanKind};
+pub use reduce::{reduce_cube, reduce_vec, ReduceRun};
+pub use scanu::scanu;
+pub use scanul1::scanul1;
+
+use ascendc::{GlobalTensor, KernelReport};
+use dtypes::Element;
+
+/// Result of a scan kernel: the output tensor plus the execution report.
+pub struct ScanRun<O: Element> {
+    /// The scanned output array.
+    pub y: GlobalTensor<O>,
+    /// Simulated execution report (time, traffic, utilization).
+    pub report: KernelReport,
+}
+
+/// Fills in the report fields that follow the paper's reporting
+/// convention for a length-`n` scan with input element size `in_size`
+/// and output element size `out_size`.
+pub(crate) fn finish_report(
+    report: &mut KernelReport,
+    n: usize,
+    in_size: usize,
+    out_size: usize,
+) {
+    report.elements = n as u64;
+    report.useful_bytes = (n * (in_size + out_size)) as u64;
+}

@@ -1,0 +1,319 @@
+//! Reduction (sum) kernels — the scan's sibling primitive.
+//!
+//! The paper builds on Dakkak et al. (ICS'19), which accelerates both
+//! *reduction and scan* with matrix engines; the same `A @ 1ₛ` trick that
+//! powers ScanUL1's second term computes `s` row sums in one matmul.
+//! Two implementations are provided:
+//!
+//! * [`reduce_cube`] — multi-core cube reduction: each cube core turns
+//!   its `ℓ = s²` tiles into row-sum columns (`C = A @ 1ₛ`, column 0
+//!   holds the row sums), the block's vector cores accumulate the
+//!   columns, and a final small reduction over the per-chunk partials
+//!   runs in UB. Traffic ≈ `N` reads + a sliver — reduction approaches
+//!   the copy roofline where scan cannot.
+//! * [`reduce_vec`] — the vector-only baseline (`ReduceSum` over tiles).
+//!
+//! Both return exact sums in the accumulator domain (f32 for fp16 input,
+//! i32 for int8) using the same pairwise lane-tree semantics as the
+//! hardware reduction.
+
+use crate::triangular::ScanConstants;
+use crate::util::{partition, tile_spans};
+use ascend_sim::mem::GlobalMemory;
+use ascend_sim::KernelReport;
+use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
+use dtypes::{CubeInput, Element, Numeric};
+use std::sync::Arc;
+
+/// Result of a reduction kernel.
+pub struct ReduceRun<A: Element> {
+    /// The total.
+    pub total: A,
+    /// Execution report.
+    pub report: KernelReport,
+}
+
+/// Multi-core cube+vector reduction of `x` (sum in the accumulator
+/// domain): `C = A @ 1ₛ` per tile on the cube cores, column accumulation
+/// on the vector cores.
+pub fn reduce_cube<T>(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    x: &GlobalTensor<T>,
+    s: usize,
+    blocks: u32,
+) -> SimResult<ReduceRun<T::Acc>>
+where
+    T: CubeInput,
+{
+    if s == 0 || !s.is_multiple_of(16) {
+        return Err(SimError::InvalidArgument(format!(
+            "reduce_cube: s must be a positive multiple of 16, got {s}"
+        )));
+    }
+    if blocks == 0 || blocks > spec.ai_cores {
+        return Err(SimError::InvalidArgument(format!(
+            "reduce_cube: blocks {blocks} out of range 1..={}",
+            spec.ai_cores
+        )));
+    }
+    let n = x.len();
+    if n == 0 {
+        return Err(SimError::InvalidArgument("reduce_cube: empty input".into()));
+    }
+    let l = s * s;
+    let consts = ScanConstants::<T>::upload(gm, s)?;
+    let chunks_total = (blocks * spec.vec_per_core) as usize;
+    let tiles = tile_spans(n, l);
+    let chunk_tiles = partition(tiles.len(), chunks_total);
+    // Row-sum columns land here (one s-column per tile), then per-chunk
+    // partials in r.
+    let cols = GlobalTensor::<T::Acc>::new(gm, tiles.len() * s)?;
+    let r = GlobalTensor::<T::Acc>::new(gm, chunks_total)?;
+
+    let mut report = launch(spec, gm, blocks, "ReduceCube", |ctx| {
+        let block = ctx.block_idx as usize;
+        let vec_per_core = ctx.vecs.len();
+        // Cube: row sums per tile; FIXP writes only the first column
+        // (s values per tile instead of s^2 — the reduction's traffic
+        // advantage over scan).
+        let mut evs_per_chunk: Vec<Vec<ascendc::EventTime>> = vec![Vec::new(); vec_per_core];
+        {
+            let cube = &mut ctx.cube;
+            let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
+            cube.copy_in(&mut lb, 0, &consts.ones, 0, l, &[])?;
+            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity { 2 } else { 1 };
+            let dc = if 2 * l * <T::Acc as Element>::SIZE <= cube.spec().l0c_capacity { 2 } else { 1 };
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
+            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
+            for v in 0..vec_per_core {
+                let (t0, tcount) = chunk_tiles[block * vec_per_core + v];
+                for (ti, &(off, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
+                    let rows = valid.div_ceil(s);
+                    let mut la = qa.alloc_tensor()?;
+                    if valid < rows * s {
+                        cube.fill_local(&mut la, 0, rows * s, T::zero())?;
+                    }
+                    cube.copy_in(&mut la, 0, x, off, valid, &[])?;
+                    let mut lc = qc.alloc_tensor()?;
+                    let mm = cube.mmad::<T>(&mut lc, &mut la, &mut lb, rows, s, s, false)?;
+                    qa.free_tensor(la, mm);
+                    // Column 0 of C holds the row sums: one strided
+                    // FIXP copy extracts it (s values instead of s^2).
+                    let ev = cube.copy_out_2d(&cols, (t0 + ti) * s, &lc, 0, rows, 1, s, &[])?;
+                    qc.free_tensor(lc, ev);
+                    evs_per_chunk[v].push(ev);
+                }
+            }
+        }
+        // Vector cores: accumulate each chunk's row-sum columns.
+        for v in 0..vec_per_core {
+            let chunk = block * vec_per_core + v;
+            let (t0, tcount) = chunk_tiles[chunk];
+            let vc = &mut ctx.vecs[v];
+            let mut buf = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, s)?;
+            let mut total = T::Acc::zero();
+            let mut total_ready = 0;
+            for (ti, &(_, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
+                let rows = valid.div_ceil(s);
+                vc.copy_in(&mut buf, 0, &cols, (t0 + ti) * s, rows, &[evs_per_chunk[v][ti]])?;
+                let (sum, ready) = vc.reduce_sum(&buf, 0, rows)?;
+                total = total.add(sum);
+                total_ready = vc.scalar_ops(1, &[ready, total_ready])?;
+            }
+            let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
+            vc.insert(&mut one, 0, total, total_ready)?;
+            vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
+            vc.free_local(one);
+            vc.free_local(buf);
+        }
+        ctx.sync_all();
+        // Final: block 0's first vector core folds the chunk partials.
+        if ctx.block_idx == 0 {
+            let vc = &mut ctx.vecs[0];
+            let mut r_ub = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, chunks_total)?;
+            vc.copy_in(&mut r_ub, 0, &r, 0, chunks_total, &[])?;
+            let (grand, ready) = vc.reduce_sum(&r_ub, 0, chunks_total)?;
+            let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
+            vc.insert(&mut one, 0, grand, ready)?;
+            vc.copy_out(&r, 0, &one, 0, 1, &[])?;
+            vc.free_local(one);
+            vc.free_local(r_ub);
+        }
+        Ok(())
+    })?;
+
+    let total = r.read_range(0, 1)?[0];
+    report.elements = n as u64;
+    report.useful_bytes = (n * T::SIZE) as u64;
+    Ok(ReduceRun { total, report })
+}
+
+/// Vector-only reduction baseline: tile loads + `ReduceSum`, spread over
+/// all vector cores.
+pub fn reduce_vec<T>(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    x: &GlobalTensor<T>,
+    blocks: u32,
+) -> SimResult<ReduceRun<T::Acc>>
+where
+    T: CubeInput,
+{
+    let n = x.len();
+    if n == 0 {
+        return Err(SimError::InvalidArgument("reduce_vec: empty input".into()));
+    }
+    let chunks_total = (blocks * spec.vec_per_core) as usize;
+    let r = GlobalTensor::<T::Acc>::new(gm, chunks_total)?;
+    let piece = {
+        let per = spec.ub_capacity / (2 * T::SIZE + <T::Acc as Element>::SIZE + 8);
+        let mut p = 64;
+        while p * 2 <= per && p < 8192 {
+            p *= 2;
+        }
+        p
+    };
+    let spans = tile_spans(n, piece);
+    let chunk_spans = partition(spans.len(), chunks_total);
+
+    let mut report = launch(spec, gm, blocks, "ReduceVec", |ctx| {
+        let block = ctx.block_idx as usize;
+        let vec_per_core = ctx.vecs.len();
+        for v in 0..vec_per_core {
+            let chunk = block * vec_per_core + v;
+            let (s0, scount) = chunk_spans[chunk];
+            let vc = &mut ctx.vecs[v];
+            let mut qin = TQue::<T>::new(vc, ScratchpadKind::Ub, 2, piece)?;
+            let mut acc = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, piece)?;
+            let mut total = T::Acc::zero();
+            let mut total_ready = 0;
+            for &(off, valid) in &spans[s0..s0 + scount] {
+                let mut buf = qin.alloc_tensor()?;
+                vc.copy_in(&mut buf, 0, x, off, valid, &[])?;
+                let cast_done = vc.vcast::<T, T::Acc>(&mut acc, &buf, 0, valid)?;
+                qin.free_tensor(buf, cast_done);
+                let (sum, ready) = vc.reduce_sum(&acc, 0, valid)?;
+                total = total.add(sum);
+                total_ready = vc.scalar_ops(1, &[ready, total_ready])?;
+            }
+            let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
+            vc.insert(&mut one, 0, total, total_ready)?;
+            vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
+            vc.free_local(one);
+            vc.free_local(acc);
+            qin.destroy(vc)?;
+        }
+        ctx.sync_all();
+        if ctx.block_idx == 0 {
+            let vc = &mut ctx.vecs[0];
+            let mut r_ub = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, chunks_total)?;
+            vc.copy_in(&mut r_ub, 0, &r, 0, chunks_total, &[])?;
+            let (grand, ready) = vc.reduce_sum(&r_ub, 0, chunks_total)?;
+            let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
+            vc.insert(&mut one, 0, grand, ready)?;
+            vc.copy_out(&r, 0, &one, 0, 1, &[])?;
+            vc.free_local(one);
+            vc.free_local(r_ub);
+        }
+        Ok(())
+    })?;
+
+    let total = r.read_range(0, 1)?[0];
+    report.elements = n as u64;
+    report.useful_bytes = (n * T::SIZE) as u64;
+    Ok(ReduceRun { total, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtypes::F16;
+
+    fn setup() -> (ChipSpec, Arc<GlobalMemory>) {
+        let spec = ChipSpec::tiny();
+        let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+        (spec, gm)
+    }
+
+    #[test]
+    fn cube_reduce_matches_exact_sum() {
+        let (spec, gm) = setup();
+        let data: Vec<i8> = (0..4000).map(|i| ((i * 7) % 11) as i8 - 5).collect();
+        let expect: i32 = data.iter().map(|&v| i32::from(v)).sum();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = reduce_cube::<i8>(&spec, &gm, &x, 16, 2).unwrap();
+        assert_eq!(run.total, expect);
+    }
+
+    #[test]
+    fn vec_reduce_matches_exact_sum() {
+        let (spec, gm) = setup();
+        let data: Vec<u8> = (0..3777).map(|i| (i % 4 == 0) as u8).collect();
+        let expect: i32 = data.iter().map(|&v| i32::from(v)).sum();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = reduce_vec::<u8>(&spec, &gm, &x, 2).unwrap();
+        assert_eq!(run.total, expect);
+    }
+
+    #[test]
+    fn both_agree_on_f16() {
+        let (spec, gm) = setup();
+        let data: Vec<F16> = (0..2000).map(|i| F16::from_f32((i % 5) as f32)).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let a = reduce_cube::<F16>(&spec, &gm, &x, 16, 2).unwrap();
+        let b = reduce_vec::<F16>(&spec, &gm, &x, 2).unwrap();
+        // Both accumulate in f32; summation orders differ (matmul rows
+        // vs lane tree), so allow float slack.
+        assert!((a.total - 4000.0).abs() < 1.0, "cube total {}", a.total);
+        assert!((b.total - 4000.0).abs() < 1.0, "vec total {}", b.total);
+    }
+
+    #[test]
+    fn partial_tail_tiles() {
+        let (spec, gm) = setup();
+        for n in [1usize, 255, 256, 257, 1000] {
+            let data = vec![1i8; n];
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            let run = reduce_cube::<i8>(&spec, &gm, &x, 16, 1).unwrap();
+            assert_eq!(run.total, n as i32, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reduction_traffic_is_about_one_read() {
+        // Reduction reads N element-bytes plus slivers — far below the
+        // scan's 5N — so it should outrun MCScan clearly.
+        let spec = ChipSpec::ascend_910b4();
+        let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+        let n = 4 << 20;
+        let data = vec![1i8; n];
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let red = reduce_cube::<i8>(&spec, &gm, &x, 128, spec.ai_cores).unwrap();
+        assert_eq!(red.total, n as i32);
+        let traffic = red.report.bytes_read + red.report.bytes_written;
+        assert!(
+            traffic < (n + n / 2) as u64,
+            "reduction moved {traffic} B for {n} elements"
+        );
+        let scan = crate::mcscan::mcscan::<i8, i16, i32>(
+            &spec,
+            &gm,
+            &x,
+            crate::mcscan::McScanConfig::for_chip(&spec),
+        )
+        .unwrap();
+        assert!(red.report.time_s() < scan.report.time_s());
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        let (spec, gm) = setup();
+        let x = GlobalTensor::from_slice(&gm, &[1i8; 8]).unwrap();
+        assert!(reduce_cube::<i8>(&spec, &gm, &x, 10, 1).is_err());
+        assert!(reduce_cube::<i8>(&spec, &gm, &x, 16, 0).is_err());
+        let empty = GlobalTensor::<i8>::new(&gm, 0).unwrap();
+        assert!(reduce_cube::<i8>(&spec, &gm, &empty, 16, 1).is_err());
+        assert!(reduce_vec::<i8>(&spec, &gm, &empty, 1).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Exact sequential reference scans used by tests and by the operator
+//! crates to validate kernel output.
+
+use dtypes::Numeric;
+
+/// Sequential inclusive scan in the element type's own arithmetic.
+pub fn inclusive<T: Numeric>(x: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = T::zero();
+    for &v in x {
+        acc = acc.add(v);
+        out.push(acc);
+    }
+    out
+}
+
+/// Sequential exclusive scan in the element type's own arithmetic:
+/// `out[0] = 0`, `out[i] = x[0] + … + x[i-1]`.
+pub fn exclusive<T: Numeric>(x: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = T::zero();
+    for &v in x {
+        out.push(acc);
+        acc = acc.add(v);
+    }
+    out
+}
+
+/// Inclusive scan of a widening input: accumulates in `Acc` (e.g. `u8`
+/// mask counted in `i32`), matching the cube engine's int8→int32 path.
+pub fn inclusive_widening<T, A>(x: &[T]) -> Vec<A>
+where
+    T: Numeric,
+    A: Numeric,
+{
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = A::zero();
+    for &v in x {
+        acc = acc.add(A::from_f64(v.to_f64()));
+        out.push(acc);
+    }
+    out
+}
+
+/// Exclusive scan of a widening input.
+pub fn exclusive_widening<T, A>(x: &[T]) -> Vec<A>
+where
+    T: Numeric,
+    A: Numeric,
+{
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = A::zero();
+    for &v in x {
+        out.push(acc);
+        acc = acc.add(A::from_f64(v.to_f64()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtypes::F16;
+
+    #[test]
+    fn inclusive_basic() {
+        assert_eq!(inclusive(&[1i32, 2, 3, 4]), vec![1, 3, 6, 10]);
+        assert_eq!(inclusive::<i32>(&[]), Vec::<i32>::new());
+        assert_eq!(inclusive(&[5i32]), vec![5]);
+    }
+
+    #[test]
+    fn exclusive_basic() {
+        assert_eq!(exclusive(&[1i32, 2, 3, 4]), vec![0, 1, 3, 6]);
+        assert_eq!(exclusive(&[7i32]), vec![0]);
+    }
+
+    #[test]
+    fn exclusive_is_shifted_inclusive() {
+        let x = [3i32, 1, 4, 1, 5, 9, 2, 6];
+        let inc = inclusive(&x);
+        let exc = exclusive(&x);
+        assert_eq!(exc[0], 0);
+        assert_eq!(&exc[1..], &inc[..x.len() - 1]);
+    }
+
+    #[test]
+    fn widening_counts_mask() {
+        let mask = [1u8, 0, 1, 1, 0, 1];
+        let inc: Vec<i32> = inclusive_widening(&mask);
+        assert_eq!(inc, vec![1, 1, 2, 3, 3, 4]);
+        let exc: Vec<i32> = exclusive_widening(&mask);
+        assert_eq!(exc, vec![0, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn f16_scan_small_integers_is_exact() {
+        let x: Vec<F16> = (1..=100).map(|i| F16::from_f32((i % 4) as f32)).collect();
+        let scanned = inclusive(&x);
+        let mut acc = 0f32;
+        for (i, v) in x.iter().enumerate() {
+            acc += v.to_f32();
+            assert_eq!(scanned[i].to_f32(), acc, "exact while sums <= 2048");
+        }
+    }
+
+    #[test]
+    fn wrapping_integer_scan() {
+        let x = [200u8, 100, 50];
+        assert_eq!(inclusive(&x), vec![200, 44, 94]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Multi-sample weighted sampling: repeated inverse-transform draws vs
+//! an alias table — the paper's §5 future-work direction, implemented.
+//!
+//! Drawing one sample costs a full scan of the weights (inverse
+//! transform); drawing thousands amortizes an alias-table construction
+//! (one scan + one split + pairing) into O(1) per draw.
+//!
+//! ```text
+//! cargo run --release --example multi_sampling
+//! ```
+
+use ascend_scan::{Device, KernelReport};
+
+fn main() {
+    let dev = Device::ascend_910b4();
+
+    // A skewed 1M-entry distribution (three heavy items over a long tail).
+    let n = 1 << 20;
+    let mut w: Vec<f32> = (0..n).map(|i| 1.0 / (1.0 + (i % 1000) as f32)).collect();
+    w[100] = 50_000.0;
+    w[7777] = 25_000.0;
+    w[999_999] = 12_500.0;
+    let x = dev.tensor(&w).expect("upload weights");
+
+    let k = 256; // samples to draw
+    let thetas: Vec<f64> = (0..k).map(|i| (i as f64 + 0.5) / k as f64).collect();
+
+    // --- Strategy 1: inverse transform per draw (scan each time). -----
+    let mut it_reports: Vec<KernelReport> = Vec::new();
+    let mut it_tokens = Vec::new();
+    for &t in thetas.iter().take(8) {
+        // 8 draws are enough to see the per-draw cost; extrapolate below.
+        let run = dev.weighted_sample(&x, t).expect("inverse transform");
+        it_tokens.push(run.index);
+        it_reports.push(run.report);
+    }
+    let per_draw_us =
+        it_reports.iter().map(|r| r.time_us()).sum::<f64>() / it_reports.len() as f64;
+    println!("inverse transform: {per_draw_us:.1} us per draw (scan of 1M weights each time)");
+    println!("  -> {k} draws would cost ~{:.2} ms", per_draw_us * k as f64 / 1e3);
+    println!("  first draws: {:?}", &it_tokens[..4]);
+
+    // --- Strategy 2: alias table (the future-work route). -------------
+    let table = dev.alias_table(&x).expect("build alias table");
+    println!(
+        "\nalias table built in {:.1} us (scan + split on device, Vose pairing on the scalar unit)",
+        table.report.time_us()
+    );
+    let pairs: Vec<(f64, f64)> = thetas
+        .iter()
+        .map(|&t| (t, (t * 7.0) % 1.0))
+        .collect();
+    let (tokens, sample_report) = dev.alias_sample(&table, &pairs).expect("alias draws");
+    println!(
+        "{k} draws in {:.1} us total ({:.2} us per draw)",
+        sample_report.time_us(),
+        sample_report.time_us() / k as f64
+    );
+    let amortized = table.report.time_us() + sample_report.time_us();
+    println!(
+        "build + {k} draws = {:.1} us vs ~{:.0} us by repeated inverse transform ({:.0}x)",
+        amortized,
+        per_draw_us * k as f64,
+        per_draw_us * k as f64 / amortized
+    );
+
+    // Heavy items should dominate the draws.
+    let heavy_hits = tokens
+        .iter()
+        .filter(|&&t| t == 100 || t == 7777 || t == 999_999)
+        .count();
+    println!(
+        "\n{heavy_hits}/{k} draws hit the three heavy items (they hold ~86% of the mass)"
+    );
+    assert!(heavy_hits > k / 2, "heavy items must dominate");
+}

@@ -1,0 +1,6 @@
+//! Root package of the `ascend-scan` workspace: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The library itself lives in the [`ascend_scan`] facade
+//! crate and the crates it re-exports.
+
+pub use ascend_scan as lib;

@@ -1,0 +1,145 @@
+//! Invariants of the performance model that the paper's conclusions
+//! rest on: rooflines, scaling directions, and resource-safety checks.
+
+use ascend_scan::dtypes::F16;
+use ascend_scan::ops::baselines;
+use ascend_scan::scan::mcscan::{mcscan, McScanConfig, ScanKind};
+use ascend_scan::scan::scanu::scanu;
+use ascend_scan::sim::mem::GlobalMemory;
+use ascend_scan::{ChipSpec, Device, GlobalTensor};
+use std::sync::Arc;
+
+#[test]
+fn copy_never_exceeds_memory_bandwidth() {
+    let dev = Device::ascend_910b4();
+    for n in [1 << 16, 1 << 20, 1 << 23] {
+        let x = dev.tensor(&vec![F16::ONE; n]).unwrap();
+        let (_, r) = baselines::clone(dev.spec(), dev.memory(), &x).unwrap();
+        let limit = dev.spec().l2_bytes_per_sec / 1e9;
+        assert!(
+            r.traffic_gbps() <= limit * 1.01,
+            "clone at N = {n}: {:.0} GB/s exceeds the L2 roofline {:.0}",
+            r.traffic_gbps(),
+            limit
+        );
+    }
+}
+
+#[test]
+fn mcscan_is_slower_than_copy_but_same_order() {
+    // MCScan moves ~5N element-bytes to copy's 2N: it must be slower
+    // than clone, but by a bounded factor once bandwidth-bound.
+    let dev = Device::ascend_910b4();
+    let n = 8 << 20;
+    let x = dev.tensor(&vec![F16::ONE; n]).unwrap();
+    let scan = dev.cumsum(&x).unwrap().report;
+    let x2 = dev.tensor(&vec![F16::ONE; n]).unwrap();
+    let (_, copy) = baselines::clone(dev.spec(), dev.memory(), &x2).unwrap();
+    let ratio = scan.time_s() / copy.time_s();
+    assert!(
+        (1.5..6.0).contains(&ratio),
+        "scan/copy time ratio {ratio:.2} outside the 5N/2N neighborhood"
+    );
+}
+
+#[test]
+fn larger_s_is_faster_for_mcscan() {
+    // Fig. 8's trend: the matmul tile dimension s = 128 maximizes L0
+    // utilization and wins over s = 32.
+    let dev = Device::ascend_910b4();
+    let n = 4 << 20;
+    let mut times = Vec::new();
+    for s in [32usize, 64, 128] {
+        let x = dev.tensor(&vec![F16::ONE; n]).unwrap();
+        let r = mcscan::<F16, F16, F16>(
+            dev.spec(),
+            dev.memory(),
+            &x,
+            McScanConfig { s, blocks: 20, kind: ScanKind::Inclusive },
+        )
+        .unwrap()
+        .report;
+        times.push(r.time_s());
+    }
+    assert!(times[0] > times[1] && times[1] > times[2], "times: {times:?}");
+}
+
+#[test]
+fn single_core_scan_is_compute_bound_not_bandwidth_bound() {
+    // One AI core cannot saturate HBM: ScanU's achieved traffic must sit
+    // well under the chip bandwidth.
+    let dev = Device::ascend_910b4();
+    let n = 2 << 20;
+    let x = dev.tensor(&vec![F16::ONE; n]).unwrap();
+    let r = scanu::<F16, F16>(dev.spec(), dev.memory(), &x, 128).unwrap().report;
+    assert!(r.traffic_gbps() < 200.0, "one core at {:.0} GB/s?", r.traffic_gbps());
+}
+
+#[test]
+fn scratchpad_budgets_are_enforced_at_128() {
+    // s = 128 exactly fills L0A/L0B with double buffering; s = 256 must
+    // be rejected by capacity checking, not silently mis-simulated.
+    let dev = Device::ascend_910b4();
+    let x = dev.tensor(&vec![F16::ONE; 1 << 16]).unwrap();
+    let err = mcscan::<F16, F16, F16>(
+        dev.spec(),
+        dev.memory(),
+        &x,
+        McScanConfig { s: 256, blocks: 4, kind: ScanKind::Inclusive },
+    )
+    .err()
+    .expect("s = 256 must overflow L0");
+    assert!(matches!(err, ascend_scan::SimError::ScratchpadOverflow { .. }));
+}
+
+#[test]
+fn global_memory_capacity_is_enforced() {
+    let mut spec = ChipSpec::ascend_910b4();
+    spec.hbm_capacity = 1 << 20; // 1 MiB device
+    let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+    let big = GlobalTensor::<F16>::new(&gm, 1 << 21);
+    let err = big.err().expect("allocation beyond HBM capacity must fail");
+    assert!(matches!(err, ascend_scan::SimError::GlobalMemoryExhausted { .. }));
+}
+
+#[test]
+fn l2_boost_appears_below_the_cache_capacity() {
+    // The same copy kernel achieves higher bandwidth when the working
+    // set fits L2 (Fig. 8's "almost approach the theoretical limit for
+    // sizes smaller than the L2 cache").
+    let spec = ChipSpec::ascend_910b4();
+    let small_n = 4 << 20; // 16 MB working set (2 tensors x 8 MB) << 192 MB L2
+    let large_n = 96 << 20; // 384 MB working set >> L2
+
+    let dev = Device::with_spec(spec);
+    let x = dev.tensor(&vec![F16::ONE; small_n]).unwrap();
+    let (_, small) = baselines::clone(dev.spec(), dev.memory(), &x).unwrap();
+
+    let dev = Device::ascend_910b4();
+    let x = dev.tensor(&vec![F16::ONE; large_n]).unwrap();
+    let (_, large) = baselines::clone(dev.spec(), dev.memory(), &x).unwrap();
+
+    assert!(
+        small.gbps() > large.gbps(),
+        "L2-resident copy ({:.0} GB/s) should beat DRAM-bound copy ({:.0} GB/s)",
+        small.gbps(),
+        large.gbps()
+    );
+}
+
+#[test]
+fn launch_overhead_dominates_tiny_inputs() {
+    // The flat region of Fig. 3's log-log plot: below a few K elements,
+    // time is launch-bound and roughly constant.
+    let dev = Device::ascend_910b4();
+    let t = |n: usize| {
+        let x = dev.tensor(&vec![F16::ONE; n]).unwrap();
+        dev.cumsum(&x).unwrap().report.time_us()
+    };
+    let t256 = t(256);
+    let t4k = t(4096);
+    assert!(
+        t4k / t256 < 2.0,
+        "sub-launch-size inputs should cost nearly the same ({t256:.1} vs {t4k:.1} us)"
+    );
+}
