@@ -6,6 +6,7 @@
 //! and crossovers), not cycle-exact Ascend silicon behaviour.
 
 use crate::engine::EngineKind;
+use crate::simcheck::ValidationMode;
 
 /// Static description of an Ascend-like accelerator.
 ///
@@ -83,6 +84,11 @@ pub struct ChipSpec {
     pub launch_cycles: u64,
     /// Cycles charged per `SyncAll` global barrier.
     pub sync_all_cycles: u64,
+
+    // ---- Validation ----
+    /// How much runtime sanitizer checking (`simcheck`) the simulator
+    /// performs. Purely observational: never affects simulated timing.
+    pub validation: ValidationMode,
 }
 
 impl ChipSpec {
@@ -120,8 +126,10 @@ impl ChipSpec {
             l0b_capacity: 64 << 10,
             l0c_capacity: 128 << 10,
 
-            launch_cycles: 9_000,     // ~5 us device-side launch
-            sync_all_cycles: 2_700,   // ~1.5 us global barrier
+            launch_cycles: 9_000,   // ~5 us device-side launch
+            sync_all_cycles: 2_700, // ~1.5 us global barrier
+
+            validation: ValidationMode::Full,
         }
     }
 
@@ -162,7 +170,17 @@ impl ChipSpec {
 
             launch_cycles: 100,
             sync_all_cycles: 50,
+
+            validation: ValidationMode::Full,
         }
+    }
+
+    /// Returns the spec with a different [`ValidationMode`] — how
+    /// benchmarks opt out of the sanitizer overhead
+    /// (`ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap)`).
+    pub fn with_validation(mut self, validation: ValidationMode) -> Self {
+        self.validation = validation;
+        self
     }
 
     /// Total number of vector cores on the chip.

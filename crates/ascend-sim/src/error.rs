@@ -42,8 +42,49 @@ pub enum SimError {
         /// Bytes available.
         available: usize,
     },
-    /// Queue protocol violation (e.g. `deque` on an empty queue).
+    /// A freed local buffer was used or freed again (simcheck).
+    ScratchpadUseAfterFree {
+        /// Which scratchpad (e.g. "UB", "L0A").
+        buffer: &'static str,
+        /// The instruction or operation that touched the stale buffer.
+        what: &'static str,
+    },
+    /// A stale local buffer's address range is now owned by a live
+    /// allocation: two tiles overlap in the same scratchpad (simcheck).
+    ScratchpadOverlap {
+        /// Which scratchpad (e.g. "UB", "L0A").
+        buffer: &'static str,
+        /// The instruction or operation that touched the stale buffer.
+        what: &'static str,
+    },
+    /// A queue was drained past its contents: `deque` before any
+    /// `enque`, a double-`deque`, or `alloc_tensor` on an empty pool.
+    QueueUnderflow {
+        /// The operation that underflowed ("deque" or "alloc_tensor").
+        op: &'static str,
+    },
+    /// More tensors were enqueued than the queue's depth allows.
+    QueueOverflow {
+        /// The queue's configured depth.
+        depth: usize,
+    },
+    /// A queue was destroyed while buffers were still checked out or
+    /// enqueued.
+    QueueDestroyLive {
+        /// Number of buffers not returned to the pool.
+        in_flight: usize,
+    },
+    /// Queue protocol violation not covered by a dedicated variant
+    /// (e.g. enqueuing a tensor from a different scratchpad).
     QueueProtocol(&'static str),
+    /// A post-launch audit found inconsistent timing or traffic
+    /// accounting (simcheck).
+    AccountingViolation {
+        /// Which invariant failed.
+        what: &'static str,
+        /// Human-readable details of the mismatch.
+        detail: String,
+    },
     /// An instruction was given invalid arguments (shape mismatch etc.).
     InvalidArgument(String),
     /// An instruction was issued on a core that lacks the engine
@@ -85,7 +126,26 @@ impl fmt::Display for SimError {
                 f,
                 "global memory exhausted: requested {requested} B, {available} B available"
             ),
+            SimError::ScratchpadUseAfterFree { buffer, what } => {
+                write!(f, "{what}: use of freed buffer in scratchpad {buffer}")
+            }
+            SimError::ScratchpadOverlap { buffer, what } => write!(
+                f,
+                "{what}: stale buffer overlaps a live allocation in scratchpad {buffer}"
+            ),
+            SimError::QueueUnderflow { op } => {
+                write!(f, "queue underflow: {op} with no entries available")
+            }
+            SimError::QueueOverflow { depth } => {
+                write!(f, "queue overflow: enque beyond depth {depth}")
+            }
+            SimError::QueueDestroyLive { in_flight } => {
+                write!(f, "queue destroyed with {in_flight} buffer(s) still in flight")
+            }
             SimError::QueueProtocol(msg) => write!(f, "queue protocol violation: {msg}"),
+            SimError::AccountingViolation { what, detail } => {
+                write!(f, "accounting violation ({what}): {detail}")
+            }
             SimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SimError::WrongCore { instr, core } => {
                 write!(f, "instruction {instr} not available on a {core} core")
@@ -124,5 +184,36 @@ mod tests {
             core: "vector",
         };
         assert!(e.to_string().contains("Mmad"));
+    }
+
+    #[test]
+    fn simcheck_display_messages() {
+        let e = SimError::ScratchpadUseAfterFree {
+            buffer: "UB",
+            what: "Adds",
+        };
+        assert!(e.to_string().contains("freed buffer"));
+        assert!(e.to_string().contains("UB"));
+
+        let e = SimError::ScratchpadOverlap {
+            buffer: "L0A",
+            what: "Mmad",
+        };
+        assert!(e.to_string().contains("overlaps"));
+
+        assert!(SimError::QueueUnderflow { op: "deque" }
+            .to_string()
+            .contains("underflow"));
+        assert!(SimError::QueueOverflow { depth: 2 }
+            .to_string()
+            .contains("depth 2"));
+        assert!(SimError::QueueDestroyLive { in_flight: 1 }
+            .to_string()
+            .contains("in flight"));
+        let e = SimError::AccountingViolation {
+            what: "bytes_read reconciliation",
+            detail: "off by 4".into(),
+        };
+        assert!(e.to_string().contains("bytes_read"));
     }
 }

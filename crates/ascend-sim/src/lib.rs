@@ -43,6 +43,7 @@ pub mod engine;
 pub mod error;
 pub mod mem;
 pub mod report;
+pub mod simcheck;
 pub mod sync;
 pub mod timeline;
 pub mod trace;
@@ -52,6 +53,7 @@ pub use engine::EngineKind;
 pub use error::{SimError, SimResult};
 pub use mem::{GlobalMemory, Region};
 pub use report::KernelReport;
+pub use simcheck::{ScratchTracker, ValidationMode};
 pub use sync::SharedSync;
-pub use trace::TraceEvent;
 pub use timeline::{CoreKind, CoreTimeline, EventTime};
+pub use trace::TraceEvent;

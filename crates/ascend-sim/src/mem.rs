@@ -10,8 +10,8 @@
 
 use crate::error::{SimError, SimResult};
 use dtypes::Element;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 /// Alignment of global-memory allocations in bytes (Ascend requires 32 B;
 /// we use 512 B which also keeps tiles cache-line aligned).
@@ -78,7 +78,7 @@ impl GlobalMemory {
                 requested: len,
                 available: self.capacity - cur,
             })?;
-        let mut bytes = self.bytes.write();
+        let mut bytes = self.bytes.write().expect("GlobalMemory lock poisoned");
         if bytes.len() < offset + aligned {
             bytes.resize(offset + aligned, 0);
         }
@@ -114,10 +114,17 @@ impl GlobalMemory {
 
     /// Charges extra outbound traffic (strided write padding).
     pub fn account_write_padding(&self, bytes: u64) {
-        self.device_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.device_bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
-    fn check(&self, what: &'static str, region: Region, byte_off: usize, len: usize) -> SimResult<usize> {
+    fn check(
+        &self,
+        what: &'static str,
+        region: Region,
+        byte_off: usize,
+        len: usize,
+    ) -> SimResult<usize> {
         if byte_off + len > region.len {
             return Err(SimError::OutOfBounds {
                 what,
@@ -132,7 +139,7 @@ impl GlobalMemory {
     /// Device-side read (counted as HBM traffic).
     pub fn device_read(&self, region: Region, byte_off: usize, dst: &mut [u8]) -> SimResult<()> {
         let start = self.check("device_read", region, byte_off, dst.len())?;
-        let bytes = self.bytes.read();
+        let bytes = self.bytes.read().expect("GlobalMemory lock poisoned");
         dst.copy_from_slice(&bytes[start..start + dst.len()]);
         self.device_bytes_read
             .fetch_add(dst.len() as u64, Ordering::Relaxed);
@@ -142,7 +149,7 @@ impl GlobalMemory {
     /// Device-side write (counted as HBM traffic).
     pub fn device_write(&self, region: Region, byte_off: usize, src: &[u8]) -> SimResult<()> {
         let start = self.check("device_write", region, byte_off, src.len())?;
-        let mut bytes = self.bytes.write();
+        let mut bytes = self.bytes.write().expect("GlobalMemory lock poisoned");
         bytes[start..start + src.len()].copy_from_slice(src);
         self.device_bytes_written
             .fetch_add(src.len() as u64, Ordering::Relaxed);
@@ -150,11 +157,16 @@ impl GlobalMemory {
     }
 
     /// Host-side typed upload (not counted as device traffic).
-    pub fn host_write_slice<T: Element>(&self, region: Region, elem_off: usize, src: &[T]) -> SimResult<()> {
+    pub fn host_write_slice<T: Element>(
+        &self,
+        region: Region,
+        elem_off: usize,
+        src: &[T],
+    ) -> SimResult<()> {
         let byte_off = elem_off * T::SIZE;
         let len = src.len() * T::SIZE;
         let start = self.check("host_write_slice", region, byte_off, len)?;
-        let mut bytes = self.bytes.write();
+        let mut bytes = self.bytes.write().expect("GlobalMemory lock poisoned");
         for (i, v) in src.iter().enumerate() {
             v.write_le(&mut bytes[start + i * T::SIZE..start + (i + 1) * T::SIZE]);
         }
@@ -162,11 +174,16 @@ impl GlobalMemory {
     }
 
     /// Host-side typed download (not counted as device traffic).
-    pub fn host_read_slice<T: Element>(&self, region: Region, elem_off: usize, len: usize) -> SimResult<Vec<T>> {
+    pub fn host_read_slice<T: Element>(
+        &self,
+        region: Region,
+        elem_off: usize,
+        len: usize,
+    ) -> SimResult<Vec<T>> {
         let byte_off = elem_off * T::SIZE;
         let nbytes = len * T::SIZE;
         let start = self.check("host_read_slice", region, byte_off, nbytes)?;
-        let bytes = self.bytes.read();
+        let bytes = self.bytes.read().expect("GlobalMemory lock poisoned");
         Ok((0..len)
             .map(|i| T::read_le(&bytes[start + i * T::SIZE..start + (i + 1) * T::SIZE]))
             .collect())
@@ -243,9 +260,18 @@ mod tests {
 
     #[test]
     fn region_slice() {
-        let r = Region { offset: 512, len: 256 };
+        let r = Region {
+            offset: 512,
+            len: 256,
+        };
         let s = r.slice(64, 64).unwrap();
-        assert_eq!(s, Region { offset: 576, len: 64 });
+        assert_eq!(
+            s,
+            Region {
+                offset: 576,
+                len: 64
+            }
+        );
         assert!(r.slice(200, 64).is_err());
     }
 

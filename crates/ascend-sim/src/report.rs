@@ -55,7 +55,22 @@ impl KernelReport {
 
     /// Operator bandwidth in GB/s (useful bytes / time) — the paper's
     /// reporting convention.
+    ///
+    /// Debug-asserts that `useful_bytes` and `cycles` are non-zero:
+    /// [`KernelReport::sequential`] leaves `useful_bytes` at zero for the
+    /// caller to fill in, and a silent `0.0` here has historically hidden
+    /// that omission.
     pub fn gbps(&self) -> f64 {
+        debug_assert!(
+            self.useful_bytes > 0,
+            "gbps() on report '{}' with useful_bytes == 0 (sequential() leaves it for the caller)",
+            self.name
+        );
+        debug_assert!(
+            self.cycles > 0,
+            "gbps() on report '{}' with zero cycles",
+            self.name
+        );
         self.useful_bytes as f64 / self.time_s() / 1e9
     }
 
@@ -65,7 +80,20 @@ impl KernelReport {
     }
 
     /// Throughput in giga-elements per second (Fig. 9's unit).
+    ///
+    /// Debug-asserts that `elements` and `cycles` are non-zero — see
+    /// [`KernelReport::gbps`].
     pub fn gelems(&self) -> f64 {
+        debug_assert!(
+            self.elements > 0,
+            "gelems() on report '{}' with elements == 0 (sequential() leaves it for the caller)",
+            self.name
+        );
+        debug_assert!(
+            self.cycles > 0,
+            "gelems() on report '{}' with zero cycles",
+            self.name
+        );
         self.elements as f64 / self.time_s() / 1e9
     }
 
@@ -166,5 +194,31 @@ mod tests {
         let mut r = report();
         r.cycles = 0;
         assert_eq!(r.utilization(EngineKind::Cube, 20), 0.0);
+    }
+
+    #[test]
+    fn sequential_combines_and_leaves_useful_fields_zero() {
+        let parts = [report(), report()];
+        let s = KernelReport::sequential("combined", &parts);
+        assert_eq!(s.cycles, 3_600_000);
+        assert_eq!(s.bytes_read, 6_000_000);
+        assert_eq!(s.useful_bytes, 0);
+        assert_eq!(s.elements, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "useful_bytes == 0")]
+    fn gbps_on_unfilled_sequential_report_panics() {
+        let s = KernelReport::sequential("unfilled", &[report()]);
+        let _ = s.gbps();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "elements == 0")]
+    fn gelems_on_unfilled_sequential_report_panics() {
+        let s = KernelReport::sequential("unfilled", &[report()]);
+        let _ = s.gelems();
     }
 }

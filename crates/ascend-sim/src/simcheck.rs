@@ -1,0 +1,460 @@
+//! Runtime sanitizer layer ("simcheck").
+//!
+//! The simulator already turns hard failures (out-of-bounds accesses,
+//! scratchpad overflow) into [`SimError`]s. This module adds the checks
+//! that catch *silent* misuse — bugs that on real hardware corrupt data
+//! or timing without any diagnostic:
+//!
+//! * **Scratchpad lifetimes** ([`ScratchTracker`]): every local-buffer
+//!   allocation gets a unique id and an address range inside its
+//!   scratchpad (UB/L1/L0A/L0B/L0C). Using or freeing a buffer after it
+//!   was freed is a use-after-free; using a stale buffer whose range has
+//!   since been handed to a live allocation is an overlap.
+//! * **Timeline audits** ([`audit_trace_events`]): per-engine event
+//!   times must be monotone — an in-order engine queue can never run two
+//!   instructions in overlapping intervals.
+//! * **Accounting audits** ([`audit_report`]): per-engine busy cycles
+//!   are bounded by `cores-with-engine x cycles`, and the report's
+//!   traffic must reconcile with the [`GlobalMemory`] transfer counters.
+//!
+//! All checks are *observational*: they never issue instructions or
+//! advance any timeline, so enabling them cannot change a kernel's
+//! simulated cycles, traffic, or engine occupancy (the determinism
+//! fingerprints tests rely on).
+//!
+//! [`GlobalMemory`]: crate::mem::GlobalMemory
+
+use crate::chip::ChipSpec;
+use crate::engine::EngineKind;
+use crate::error::{SimError, SimResult};
+use crate::report::KernelReport;
+use crate::trace::TraceEvent;
+use std::collections::HashMap;
+
+/// How much runtime validation the simulator performs.
+///
+/// Carried on [`ChipSpec`](crate::ChipSpec::validation) so a single
+/// launch-side switch covers every kernel: tests run the presets'
+/// default ([`ValidationMode::Full`]); benchmarks downgrade to
+/// [`ValidationMode::Cheap`] via
+/// [`ChipSpec::with_validation`](crate::ChipSpec::with_validation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValidationMode {
+    /// No optional checking. Bounds checks that protect the simulator's
+    /// own memory safety remain active.
+    Off,
+    /// O(1) structural checks only (queue protocol, bounds). No
+    /// per-allocation lifetime tracking, no post-launch audits.
+    Cheap,
+    /// Everything: lifetime/overlap tracking, timeline monotonicity and
+    /// accounting audits. The default, and what all tests run under.
+    #[default]
+    Full,
+}
+
+impl ValidationMode {
+    /// Whether scratchpad lifetime/overlap tracking is active.
+    pub fn lifetime_checks(self) -> bool {
+        matches!(self, ValidationMode::Full)
+    }
+
+    /// Whether post-launch timeline and accounting audits run.
+    pub fn audits(self) -> bool {
+        matches!(self, ValidationMode::Full)
+    }
+
+    /// Whether any validation at all is requested.
+    pub fn enabled(self) -> bool {
+        !matches!(self, ValidationMode::Off)
+    }
+}
+
+/// A live or freed scratchpad allocation: pad index, byte offset, byte
+/// length, and the pad's display name.
+#[derive(Clone, Copy, Debug)]
+struct AllocInfo {
+    pad: usize,
+    offset: usize,
+    len: usize,
+    buffer: &'static str,
+}
+
+/// Number of distinct scratchpads tracked per core (UB, L1, L0A/B/C).
+pub const TRACKED_PADS: usize = 5;
+
+/// Per-core scratchpad lifetime tracker.
+///
+/// The owning core assigns each allocation a process-unique id (0 means
+/// "untracked"); the tracker places it at a concrete byte range via
+/// first-fit and remembers freed allocations so later uses of stale
+/// handles can be classified as use-after-free or overlap.
+///
+/// Ids the tracker never allocated (e.g. a tensor handed over from a
+/// different core) are ignored rather than flagged: cross-core traffic
+/// is policed by the position checks, not by this tracker.
+#[derive(Debug, Default)]
+pub struct ScratchTracker {
+    active: bool,
+    /// Live ranges per pad, kept sorted by offset: `(offset, len, id)`.
+    ranges: [Vec<(usize, usize, u64)>; TRACKED_PADS],
+    live: HashMap<u64, AllocInfo>,
+    freed: HashMap<u64, AllocInfo>,
+}
+
+impl ScratchTracker {
+    /// Creates a tracker; when `active` is false every operation is a
+    /// no-op returning success (the `Off`/`Cheap` modes).
+    pub fn new(active: bool) -> Self {
+        ScratchTracker {
+            active,
+            ..Default::default()
+        }
+    }
+
+    /// Registers an allocation of `len` bytes in pad `pad` under the
+    /// caller-supplied unique `id`. Placement is first-fit among the
+    /// pad's live ranges; when fragmentation leaves no gap inside
+    /// `capacity` the range is placed past the end instead — placement
+    /// exists for overlap classification only and must never invent
+    /// failures the capacity accounting did not.
+    pub fn on_alloc(
+        &mut self,
+        id: u64,
+        pad: usize,
+        buffer: &'static str,
+        len: usize,
+        capacity: usize,
+    ) {
+        if !self.active || id == 0 {
+            return;
+        }
+        let ranges = &mut self.ranges[pad];
+        let mut offset = 0usize;
+        let mut slot = ranges.len();
+        for (i, &(start, rlen, _)) in ranges.iter().enumerate() {
+            if offset + len <= start {
+                slot = i;
+                break;
+            }
+            offset = offset.max(start + rlen);
+        }
+        if slot == ranges.len() && offset + len > capacity {
+            // Fragmented: no in-capacity gap. Park the range past the
+            // current maximum so it overlaps nothing live.
+            offset = ranges.last().map_or(0, |&(s, l, _)| s + l).max(offset);
+        }
+        ranges.insert(slot.min(ranges.len()), (offset, len, id));
+        ranges.sort_unstable_by_key(|&(s, _, _)| s);
+        self.live.insert(
+            id,
+            AllocInfo {
+                pad,
+                offset,
+                len,
+                buffer,
+            },
+        );
+    }
+
+    /// Validates and records a free of allocation `id`. Freeing an
+    /// already-freed allocation is a use-after-free; unknown ids are
+    /// foreign and ignored.
+    pub fn on_free(&mut self, id: u64, what: &'static str) -> SimResult<()> {
+        if !self.active || id == 0 {
+            return Ok(());
+        }
+        if let Some(info) = self.live.remove(&id) {
+            self.ranges[info.pad].retain(|&(_, _, rid)| rid != id);
+            self.freed.insert(id, info);
+            return Ok(());
+        }
+        if let Some(info) = self.freed.get(&id) {
+            return Err(SimError::ScratchpadUseAfterFree {
+                buffer: info.buffer,
+                what,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a use (read or write) of allocation `id`. A freed
+    /// allocation whose byte range has since been handed to a live
+    /// allocation is an overlap (two tiles believe they own the same
+    /// addresses); a freed allocation with no such conflict is a plain
+    /// use-after-free. Unknown ids are foreign and ignored.
+    pub fn check_use(&self, id: u64, what: &'static str) -> SimResult<()> {
+        if !self.active || id == 0 || self.live.contains_key(&id) {
+            return Ok(());
+        }
+        let Some(info) = self.freed.get(&id) else {
+            return Ok(());
+        };
+        let stale_end = info.offset + info.len;
+        let overlaps_live = self.ranges[info.pad]
+            .iter()
+            .any(|&(start, len, _)| start < stale_end && info.offset < start + len);
+        if overlaps_live && info.len > 0 {
+            Err(SimError::ScratchpadOverlap {
+                buffer: info.buffer,
+                what,
+            })
+        } else {
+            Err(SimError::ScratchpadUseAfterFree {
+                buffer: info.buffer,
+                what,
+            })
+        }
+    }
+
+    /// Number of currently live tracked allocations (diagnostics).
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Audits recorded engine-occupancy events: within each
+/// `(block, core, engine)` stream, every interval must be well-formed
+/// (`end >= start`) and start at or after the previous interval's end —
+/// the in-order engine queues can never overlap two instructions.
+pub fn audit_trace_events(events: &[TraceEvent]) -> SimResult<()> {
+    let mut last_end: HashMap<(u32, u32, usize), u64> = HashMap::new();
+    for e in events {
+        if e.end < e.start {
+            return Err(SimError::AccountingViolation {
+                what: "trace event interval",
+                detail: format!(
+                    "block {} core {} engine {}: end {} precedes start {}",
+                    e.block,
+                    e.core,
+                    e.engine.name(),
+                    e.end,
+                    e.start
+                ),
+            });
+        }
+        let key = (e.block, e.core, e.engine.index());
+        if let Some(&prev) = last_end.get(&key) {
+            if e.start < prev {
+                return Err(SimError::AccountingViolation {
+                    what: "engine timeline monotonicity",
+                    detail: format!(
+                        "block {} core {} engine {}: event starts at {} before previous end {}",
+                        e.block,
+                        e.core,
+                        e.engine.name(),
+                        e.start,
+                        prev
+                    ),
+                });
+            }
+        }
+        last_end.insert(key, e.end);
+    }
+    Ok(())
+}
+
+/// Number of cores in a `blocks`-block launch on `spec` that carry
+/// `engine` (cube cores and vector cores have different engine sets).
+fn cores_with_engine(spec: &ChipSpec, blocks: u32, engine: EngineKind) -> u64 {
+    let on_cube = u64::from(ChipSpec::cube_core_engines().contains(&engine));
+    let on_vec = u64::from(ChipSpec::vec_core_engines().contains(&engine));
+    u64::from(blocks) * (on_cube + on_vec * u64::from(spec.vec_per_core))
+}
+
+/// Audits a finished [`KernelReport`] against the chip spec and the
+/// observed global-memory counter deltas:
+///
+/// * per-engine busy cycles cannot exceed `cores-with-engine x cycles`
+///   (an engine cannot be busy longer than the kernel ran);
+/// * `bytes_read`/`bytes_written` must equal the deltas measured on the
+///   [`GlobalMemory`](crate::mem::GlobalMemory) transfer counters.
+pub fn audit_report(
+    report: &KernelReport,
+    spec: &ChipSpec,
+    gm_read_delta: u64,
+    gm_written_delta: u64,
+) -> SimResult<()> {
+    for e in EngineKind::ALL {
+        let bound = cores_with_engine(spec, report.blocks, e) * report.cycles;
+        let busy = report.engine_busy[e.index()];
+        if busy > bound {
+            return Err(SimError::AccountingViolation {
+                what: "engine busy cycles",
+                detail: format!(
+                    "engine {}: {busy} busy cycles exceed bound {bound} ({} cores x {} cycles)",
+                    e.name(),
+                    cores_with_engine(spec, report.blocks, e),
+                    report.cycles
+                ),
+            });
+        }
+    }
+    if report.bytes_read != gm_read_delta {
+        return Err(SimError::AccountingViolation {
+            what: "bytes_read reconciliation",
+            detail: format!(
+                "report claims {} B read but global memory counted {gm_read_delta} B",
+                report.bytes_read
+            ),
+        });
+    }
+    if report.bytes_written != gm_written_delta {
+        return Err(SimError::AccountingViolation {
+            what: "bytes_written reconciliation",
+            detail: format!(
+                "report claims {} B written but global memory counted {gm_written_delta} B",
+                report.bytes_written
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UB: usize = 0;
+
+    fn tracker() -> ScratchTracker {
+        ScratchTracker::new(true)
+    }
+
+    #[test]
+    fn validation_mode_gating() {
+        assert!(ValidationMode::Full.lifetime_checks());
+        assert!(ValidationMode::Full.audits());
+        assert!(!ValidationMode::Cheap.lifetime_checks());
+        assert!(!ValidationMode::Cheap.audits());
+        assert!(ValidationMode::Cheap.enabled());
+        assert!(!ValidationMode::Off.enabled());
+        assert_eq!(ValidationMode::default(), ValidationMode::Full);
+    }
+
+    #[test]
+    fn live_allocation_passes_checks() {
+        let mut t = tracker();
+        t.on_alloc(1, UB, "UB", 256, 1024);
+        assert!(t.check_use(1, "copy").is_ok());
+        assert_eq!(t.live_count(), 1);
+        assert!(t.on_free(1, "free_local").is_ok());
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn use_after_free_is_detected() {
+        let mut t = tracker();
+        t.on_alloc(1, UB, "UB", 256, 1024);
+        t.on_free(1, "free_local").unwrap();
+        let err = t.check_use(1, "Adds").unwrap_err();
+        assert!(matches!(err, SimError::ScratchpadUseAfterFree { .. }));
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut t = tracker();
+        t.on_alloc(1, UB, "UB", 256, 1024);
+        t.on_free(1, "free_local").unwrap();
+        let err = t.on_free(1, "free_local").unwrap_err();
+        assert!(matches!(err, SimError::ScratchpadUseAfterFree { .. }));
+    }
+
+    #[test]
+    fn stale_use_over_recycled_range_is_overlap() {
+        let mut t = tracker();
+        t.on_alloc(1, UB, "UB", 256, 1024);
+        t.on_free(1, "free_local").unwrap();
+        // The freed range is recycled by a new live allocation.
+        t.on_alloc(2, UB, "UB", 256, 1024);
+        let err = t.check_use(1, "Adds").unwrap_err();
+        assert!(matches!(err, SimError::ScratchpadOverlap { .. }));
+    }
+
+    #[test]
+    fn foreign_and_untracked_ids_are_ignored() {
+        let mut t = tracker();
+        assert!(t.check_use(0, "x").is_ok());
+        assert!(t.check_use(999, "x").is_ok());
+        assert!(t.on_free(0, "x").is_ok());
+        assert!(t.on_free(999, "x").is_ok());
+    }
+
+    #[test]
+    fn inactive_tracker_is_a_no_op() {
+        let mut t = ScratchTracker::new(false);
+        t.on_alloc(1, UB, "UB", 256, 1024);
+        t.on_free(1, "f").unwrap();
+        t.on_free(1, "f").unwrap();
+        assert!(t.check_use(1, "x").is_ok());
+    }
+
+    #[test]
+    fn first_fit_reuses_gaps() {
+        let mut t = tracker();
+        t.on_alloc(1, UB, "UB", 100, 1024);
+        t.on_alloc(2, UB, "UB", 100, 1024);
+        t.on_free(1, "f").unwrap();
+        // Id 3 takes id 1's old range [0, 100); stale id 1 now overlaps.
+        t.on_alloc(3, UB, "UB", 50, 1024);
+        assert!(matches!(
+            t.check_use(1, "x"),
+            Err(SimError::ScratchpadOverlap { .. })
+        ));
+        // Id 2's range is untouched and still live.
+        assert!(t.check_use(2, "x").is_ok());
+    }
+
+    #[test]
+    fn trace_audit_accepts_monotone_rejects_overlap() {
+        let ev = |start, end| TraceEvent {
+            block: 0,
+            core: 0,
+            engine: EngineKind::Vec,
+            start,
+            end,
+        };
+        assert!(audit_trace_events(&[ev(0, 10), ev(10, 20), ev(25, 30)]).is_ok());
+        let err = audit_trace_events(&[ev(0, 10), ev(5, 20)]).unwrap_err();
+        assert!(matches!(err, SimError::AccountingViolation { .. }));
+        let err = audit_trace_events(&[ev(10, 5)]).unwrap_err();
+        assert!(matches!(err, SimError::AccountingViolation { .. }));
+    }
+
+    #[test]
+    fn report_audit_bounds_busy_and_reconciles_traffic() {
+        let spec = ChipSpec::tiny();
+        let mut report = KernelReport {
+            name: "t".into(),
+            blocks: 1,
+            cycles: 1000,
+            clock_ghz: 1.0,
+            bytes_read: 512,
+            bytes_written: 256,
+            useful_bytes: 768,
+            elements: 128,
+            engine_busy: [0; EngineKind::ALL.len()],
+            engine_instructions: [0; EngineKind::ALL.len()],
+            sync_rounds: 0,
+        };
+        assert!(audit_report(&report, &spec, 512, 256).is_ok());
+
+        // Vec engine exists only on the 2 vector cores: bound is 2000.
+        report.engine_busy[EngineKind::Vec.index()] = 2001;
+        assert!(matches!(
+            audit_report(&report, &spec, 512, 256),
+            Err(SimError::AccountingViolation { .. })
+        ));
+        report.engine_busy[EngineKind::Vec.index()] = 2000;
+        assert!(audit_report(&report, &spec, 512, 256).is_ok());
+
+        // Traffic mismatch in either direction is caught.
+        assert!(matches!(
+            audit_report(&report, &spec, 513, 256),
+            Err(SimError::AccountingViolation { .. })
+        ));
+        assert!(matches!(
+            audit_report(&report, &spec, 512, 0),
+            Err(SimError::AccountingViolation { .. })
+        ));
+    }
+}

@@ -16,9 +16,8 @@
 use crate::chip::ChipSpec;
 use crate::mem::GlobalMemory;
 use crate::timeline::EventTime;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 
 struct SegmentState {
     /// Corrected global clock at the end of the last barrier.
@@ -80,12 +79,12 @@ impl SharedSync {
         barrier_cost: u64,
     ) -> EventTime {
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().expect("SharedSync lock poisoned");
             st.max_clock = st.max_clock.max(local_clock);
         }
         let leader = self.barrier.wait().is_leader();
         if leader {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().expect("SharedSync lock poisoned");
             let seg_bytes = (gm.bytes_read() + gm.bytes_written()).saturating_sub(st.bytes_mark);
             let bw_bound = st.seg_start + spec.gm_bound_cycles(seg_bytes, gm.high_water());
             let resolved = st.max_clock.max(bw_bound) + barrier_cost;
@@ -96,7 +95,11 @@ impl SharedSync {
             st.rounds += 1;
         }
         self.publish.wait();
-        let resolved = self.state.lock().resolved;
+        let resolved = self
+            .state
+            .lock()
+            .expect("SharedSync lock poisoned")
+            .resolved;
         self.wait_cycles
             .fetch_add(resolved.saturating_sub(local_clock), Ordering::Relaxed);
         resolved
@@ -104,7 +107,7 @@ impl SharedSync {
 
     /// Number of completed synchronization rounds.
     pub fn rounds(&self) -> u64 {
-        self.state.lock().rounds
+        self.state.lock().expect("SharedSync lock poisoned").rounds
     }
 
     /// Total cycles blocks spent waiting at barriers (summed over blocks).

@@ -63,9 +63,27 @@ mod tests {
     #[test]
     fn chrome_json_is_well_formed() {
         let events = vec![
-            TraceEvent { block: 0, core: 0, engine: EngineKind::Cube, start: 100, end: 612 },
-            TraceEvent { block: 0, core: 1, engine: EngineKind::Vec, start: 612, end: 661 },
-            TraceEvent { block: 1, core: 2, engine: EngineKind::Mte2, start: 0, end: 320 },
+            TraceEvent {
+                block: 0,
+                core: 0,
+                engine: EngineKind::Cube,
+                start: 100,
+                end: 612,
+            },
+            TraceEvent {
+                block: 0,
+                core: 1,
+                engine: EngineKind::Vec,
+                start: 612,
+                end: 661,
+            },
+            TraceEvent {
+                block: 1,
+                core: 2,
+                engine: EngineKind::Mte2,
+                start: 0,
+                end: 320,
+            },
         ];
         let json = to_chrome_json(&events, 1.0);
         assert!(json.starts_with("{\"traceEvents\":["));

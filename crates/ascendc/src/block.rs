@@ -21,8 +21,8 @@
 use crate::core::Core;
 use ascend_sim::mem::GlobalMemory;
 use ascend_sim::{
-    ChipSpec, CoreKind, EngineKind, EventTime, KernelReport, SharedSync, SimError, SimResult,
-    TraceEvent,
+    simcheck, ChipSpec, CoreKind, EngineKind, EventTime, KernelReport, SharedSync, SimError,
+    SimResult, TraceEvent,
 };
 use std::sync::Arc;
 
@@ -164,7 +164,7 @@ where
                         gm: gm_ref,
                         sync,
                     };
-                    if trace {
+                    if trace || spec.validation.audits() {
                         ctx.cube.timeline_mut().enable_recording();
                         for v in &mut ctx.vecs {
                             v.timeline_mut().enable_recording();
@@ -177,12 +177,15 @@ where
                     let mut busy = [0u64; EngineKind::ALL.len()];
                     let mut instructions = [0u64; EngineKind::ALL.len()];
                     let mut events = Vec::new();
-                    for (ci, core) in std::iter::once(&ctx.cube).chain(ctx.vecs.iter()).enumerate() {
+                    for (ci, core) in std::iter::once(&ctx.cube)
+                        .chain(ctx.vecs.iter())
+                        .enumerate()
+                    {
                         for e in EngineKind::ALL {
                             busy[e.index()] += core.timeline().busy_cycles(e);
                             instructions[e.index()] += core.timeline().instructions(e);
                         }
-                        if trace {
+                        if trace || spec.validation.audits() {
                             events.extend(core.timeline().recorded().iter().map(
                                 |&(engine, start, end)| TraceEvent {
                                     block: block_idx,
@@ -227,7 +230,7 @@ where
     for o in outcomes {
         events.extend(o.events);
     }
-    Ok((KernelReport {
+    let report = KernelReport {
         name: name.to_string(),
         blocks: block_dim,
         cycles,
@@ -239,7 +242,20 @@ where
         engine_busy: busy,
         engine_instructions: instructions,
         sync_rounds: sync.rounds().saturating_sub(1),
-    }, events))
+    };
+    if spec.validation.audits() {
+        simcheck::audit_trace_events(&events)?;
+        simcheck::audit_report(
+            &report,
+            spec,
+            gm.bytes_read() - read_at_start,
+            gm.bytes_written() - written_at_start,
+        )?;
+    }
+    if !trace {
+        events.clear();
+    }
+    Ok((report, events))
 }
 
 #[cfg(test)]

@@ -4,8 +4,17 @@
 
 use crate::tensor::{GlobalTensor, LocalTensor};
 use ascend_sim::chip::ScratchpadKind;
-use ascend_sim::{ChipSpec, CoreKind, CoreTimeline, EngineKind, EventTime, SimError, SimResult};
+use ascend_sim::{
+    ChipSpec, CoreKind, CoreTimeline, EngineKind, EventTime, ScratchTracker, SimError, SimResult,
+};
 use dtypes::{CubeInput, Element, Numeric};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide id source for simcheck lifetime tracking: every tracked
+/// allocation gets a unique id, so a tensor handed to a different core is
+/// recognized as foreign (and skipped) rather than confused with that
+/// core's own allocations.
+static NEXT_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Comparison modes for the vector `Compare` intrinsic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +53,7 @@ pub struct Core<'a> {
     pub(crate) timeline: CoreTimeline,
     pub(crate) spec: &'a ChipSpec,
     scratch_used: [usize; NUM_SCRATCHPADS],
+    tracker: ScratchTracker,
 }
 
 impl<'a> Core<'a> {
@@ -53,6 +63,7 @@ impl<'a> Core<'a> {
             timeline: CoreTimeline::new(kind, start),
             spec,
             scratch_used: [0; NUM_SCRATCHPADS],
+            tracker: ScratchTracker::new(spec.validation.lifetime_checks()),
         }
     }
 
@@ -126,13 +137,32 @@ impl<'a> Core<'a> {
             });
         }
         self.scratch_used[idx] += bytes;
-        Ok(LocalTensor::new(pos, len, 0))
+        let mut t = LocalTensor::new(pos, len, 0);
+        if self.spec.validation.lifetime_checks() {
+            let id = NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed);
+            self.tracker.on_alloc(id, idx, pos.name(), bytes, cap);
+            t.alloc_id = id;
+        }
+        Ok(t)
     }
 
-    /// Releases a local tensor's scratchpad space.
-    pub fn free_local<T: Element>(&mut self, t: LocalTensor<T>) {
+    /// Releases a local tensor's scratchpad space. Freeing a buffer that
+    /// was already freed (a stale clone) is a use-after-free error.
+    pub fn free_local<T: Element>(&mut self, t: LocalTensor<T>) -> SimResult<()> {
+        self.tracker.on_free(t.alloc_id, "free_local")?;
         let idx = pad_index(t.pos);
         self.scratch_used[idx] = self.scratch_used[idx].saturating_sub(t.len() * T::SIZE);
+        Ok(())
+    }
+
+    /// Simcheck: validates that `t` is still a live allocation of this
+    /// core (no use-after-free, no overlap with a recycled range).
+    pub(crate) fn check_live<T: Element>(
+        &self,
+        what: &'static str,
+        t: &LocalTensor<T>,
+    ) -> SimResult<()> {
+        self.tracker.check_use(t.alloc_id, what)
     }
 
     /// Bytes currently allocated in the given scratchpad.
@@ -159,6 +189,7 @@ impl<'a> Core<'a> {
         deps: &[EventTime],
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("copy_in", dst.pos)?;
+        self.check_live("copy_in dst", dst)?;
         dst.check_range("copy_in dst", dst_off, len)?;
         src.device_read(src_off, &mut dst.data[dst_off..dst_off + len])?;
         let cost = self.spec.cost_datacopy(len * T::SIZE);
@@ -184,7 +215,21 @@ impl<'a> Core<'a> {
         deps: &[EventTime],
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("copy_in_2d", dst.pos)?;
+        self.check_live("copy_in_2d dst", dst)?;
         dst.check_range("copy_in_2d dst", 0, rows * cols)?;
+        // Validate the full strided extent on the GM side up front, so a
+        // bad stride errors before any partial row has been transferred.
+        if rows > 0 {
+            let last_start = src_off + (rows - 1) * src_stride;
+            if last_start + cols > src.len() {
+                return Err(SimError::OutOfBounds {
+                    what: "copy_in_2d src",
+                    offset: last_start * T::SIZE,
+                    len: cols * T::SIZE,
+                    region: src.len() * T::SIZE,
+                });
+            }
+        }
         for r in 0..rows {
             src.device_read(
                 src_off + r * src_stride,
@@ -229,6 +274,20 @@ impl<'a> Core<'a> {
         deps: &[EventTime],
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("copy_out_2d", src.pos)?;
+        self.check_live("copy_out_2d src", src)?;
+        // Validate both full extents before moving anything (see
+        // copy_in_2d): no partial GM writes on a bad stride or offset.
+        if rows > 0 {
+            src.check_range("copy_out_2d src", src_off + (rows - 1) * src_stride, cols)?;
+            if dst_off + rows * cols > dst.len() {
+                return Err(SimError::OutOfBounds {
+                    what: "copy_out_2d dst",
+                    offset: dst_off * T::SIZE,
+                    len: rows * cols * T::SIZE,
+                    region: dst.len() * T::SIZE,
+                });
+            }
+        }
         for r in 0..rows {
             src.check_range("copy_out_2d src", src_off + r * src_stride, cols)?;
             let start = src_off + r * src_stride;
@@ -263,6 +322,7 @@ impl<'a> Core<'a> {
         deps: &[EventTime],
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("copy_out", src.pos)?;
+        self.check_live("copy_out src", src)?;
         src.check_range("copy_out src", src_off, len)?;
         dst.device_write(dst_off, &src.data[src_off..src_off + len])?;
         let engine = if src.pos == ScratchpadKind::L0C {
@@ -288,6 +348,7 @@ impl<'a> Core<'a> {
         deps: &[EventTime],
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("copy_out_cast", src.pos)?;
+        self.check_live("copy_out_cast src", src)?;
         src.check_range("copy_out_cast src", src_off, len)?;
         let converted: Vec<D> = src.data[src_off..src_off + len]
             .iter()
@@ -317,6 +378,8 @@ impl<'a> Core<'a> {
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("copy_local", dst.pos)?;
         self.check_pos_on_core("copy_local", src.pos)?;
+        self.check_live("copy_local dst", dst)?;
+        self.check_live("copy_local src", src)?;
         dst.check_range("copy_local dst", dst_off, len)?;
         src.check_range("copy_local src", src_off, len)?;
         let (engine, cost) = match self.kind {
@@ -324,9 +387,7 @@ impl<'a> Core<'a> {
             CoreKind::Vector => (EngineKind::Vec, self.spec.cost_vector_op(len * T::SIZE)),
         };
         dst.data[dst_off..dst_off + len].copy_from_slice(&src.data[src_off..src_off + len]);
-        let done = self
-            .timeline
-            .exec(engine, cost, &[dst.ready, src.ready])?;
+        let done = self.timeline.exec(engine, cost, &[dst.ready, src.ready])?;
         dst.ready = done;
         Ok(done)
     }
@@ -343,6 +404,8 @@ impl<'a> Core<'a> {
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("copy_local_cast", dst.pos)?;
         self.check_pos_on_core("copy_local_cast", src.pos)?;
+        self.check_live("copy_local_cast dst", dst)?;
+        self.check_live("copy_local_cast src", src)?;
         dst.check_range("copy_local_cast dst", dst_off, len)?;
         src.check_range("copy_local_cast src", src_off, len)?;
         for i in 0..len {
@@ -356,9 +419,7 @@ impl<'a> Core<'a> {
             EngineKind::Vec
         };
         let cost = self.spec.cost_datacopy(len * S::SIZE.max(D::SIZE));
-        let done = self
-            .timeline
-            .exec(engine, cost, &[dst.ready, src.ready])?;
+        let done = self.timeline.exec(engine, cost, &[dst.ready, src.ready])?;
         dst.ready = done;
         Ok(done)
     }
@@ -374,6 +435,7 @@ impl<'a> Core<'a> {
         value: T,
     ) -> SimResult<EventTime> {
         self.check_pos_on_core("fill_local", t.pos)?;
+        self.check_live("fill_local", t)?;
         t.check_range("fill_local", off, len)?;
         for v in &mut t.data[off..off + len] {
             *v = value;
@@ -418,7 +480,9 @@ impl<'a> Core<'a> {
                 core: self.kind.name(),
             });
         }
-        if a.pos != ScratchpadKind::L0A || b.pos != ScratchpadKind::L0B || c.pos != ScratchpadKind::L0C
+        if a.pos != ScratchpadKind::L0A
+            || b.pos != ScratchpadKind::L0B
+            || c.pos != ScratchpadKind::L0C
         {
             return Err(SimError::InvalidArgument(format!(
                 "Mmad operands must be in L0A/L0B/L0C (got {}/{}/{})",
@@ -427,6 +491,9 @@ impl<'a> Core<'a> {
                 c.pos.name()
             )));
         }
+        self.check_live("Mmad A", a)?;
+        self.check_live("Mmad B", b)?;
+        self.check_live("Mmad C", c)?;
         a.check_range("Mmad A", 0, m * k)?;
         b.check_range("Mmad B", 0, k * n)?;
         c.check_range("Mmad C", 0, m * n)?;

@@ -66,26 +66,29 @@ impl<T: Element> TQue<T> {
     pub fn alloc_tensor(&mut self) -> SimResult<LocalTensor<T>> {
         self.free
             .pop_front()
-            .ok_or(SimError::QueueProtocol("alloc_tensor: buffer pool exhausted (missing free_tensor?)"))
+            .ok_or(SimError::QueueUnderflow { op: "alloc_tensor" })
     }
 
     /// Publishes a produced tensor to the consumer side.
     pub fn enque(&mut self, t: LocalTensor<T>) -> SimResult<()> {
         if t.position() != self.pos {
-            return Err(SimError::QueueProtocol("enque: tensor from a different scratchpad"));
+            return Err(SimError::QueueProtocol(
+                "enque: tensor from a different scratchpad",
+            ));
         }
         if self.queued.len() + self.free.len() >= self.depth {
-            return Err(SimError::QueueProtocol("enque: queue over capacity"));
+            return Err(SimError::QueueOverflow { depth: self.depth });
         }
         self.queued.push_back(t);
         Ok(())
     }
 
-    /// Takes the oldest published tensor (FIFO).
+    /// Takes the oldest published tensor (FIFO). Dequeuing before any
+    /// `enque` — or twice for one `enque` — is a [`SimError::QueueUnderflow`].
     pub fn deque(&mut self) -> SimResult<LocalTensor<T>> {
         self.queued
             .pop_front()
-            .ok_or(SimError::QueueProtocol("deque: queue is empty (missing enque?)"))
+            .ok_or(SimError::QueueUnderflow { op: "deque" })
     }
 
     /// Returns a consumed tensor's buffer to the pool; `release` is the
@@ -99,10 +102,12 @@ impl<T: Element> TQue<T> {
     /// been returned to the pool.
     pub fn destroy(mut self, core: &mut Core<'_>) -> SimResult<()> {
         if self.free.len() != self.depth {
-            return Err(SimError::QueueProtocol("destroy: buffers still in flight"));
+            return Err(SimError::QueueDestroyLive {
+                in_flight: self.depth - self.free.len(),
+            });
         }
         while let Some(t) = self.free.pop_front() {
-            core.free_local(t);
+            core.free_local(t)?;
         }
         Ok(())
     }
@@ -156,12 +161,61 @@ mod tests {
     fn protocol_violations_error() {
         with_core(|core| {
             let mut q = TQue::<u8>::new(core, ScratchpadKind::Ub, 1, 8).unwrap();
-            assert!(q.deque().is_err(), "deque on empty queue");
+            assert!(
+                matches!(q.deque(), Err(SimError::QueueUnderflow { op: "deque" })),
+                "deque on empty queue"
+            );
             let t = q.alloc_tensor().unwrap();
             q.enque(t).unwrap();
             let foreign = LocalTensor::<u8>::new(ScratchpadKind::L1, 8, 0);
-            assert!(q.enque(foreign).is_err(), "wrong scratchpad");
+            assert!(
+                matches!(q.enque(foreign), Err(SimError::QueueProtocol(_))),
+                "wrong scratchpad"
+            );
             assert!(TQue::<u8>::new(core, ScratchpadKind::Ub, 0, 8).is_err());
+        });
+    }
+
+    #[test]
+    fn double_deque_underflows() {
+        with_core(|core| {
+            let mut q = TQue::<u8>::new(core, ScratchpadKind::Ub, 2, 8).unwrap();
+            let t = q.alloc_tensor().unwrap();
+            q.enque(t).unwrap();
+            let t = q.deque().unwrap();
+            assert!(matches!(
+                q.deque(),
+                Err(SimError::QueueUnderflow { op: "deque" })
+            ));
+            q.free_tensor(t, 0);
+        });
+    }
+
+    #[test]
+    fn pool_exhaustion_underflows() {
+        with_core(|core| {
+            let mut q = TQue::<u8>::new(core, ScratchpadKind::Ub, 1, 8).unwrap();
+            let _t = q.alloc_tensor().unwrap();
+            assert!(matches!(
+                q.alloc_tensor(),
+                Err(SimError::QueueUnderflow { op: "alloc_tensor" })
+            ));
+        });
+    }
+
+    #[test]
+    fn depth_overflow_errors() {
+        with_core(|core| {
+            let mut q = TQue::<u8>::new(core, ScratchpadKind::Ub, 1, 8).unwrap();
+            let t = q.alloc_tensor().unwrap();
+            q.enque(t).unwrap();
+            // The pool buffer is already enqueued; a smuggled-in extra
+            // tensor would exceed the configured depth.
+            let extra = LocalTensor::<u8>::new(ScratchpadKind::Ub, 8, 0);
+            assert!(matches!(
+                q.enque(extra),
+                Err(SimError::QueueOverflow { depth: 1 })
+            ));
         });
     }
 
@@ -191,7 +245,10 @@ mod tests {
             let mut q = TQue::<f32>::new(core, ScratchpadKind::Ub, 2, 16).unwrap();
             let t = q.alloc_tensor().unwrap();
             q.enque(t).unwrap();
-            assert!(q.destroy(core).is_err());
+            assert!(matches!(
+                q.destroy(core),
+                Err(SimError::QueueDestroyLive { in_flight: 1 })
+            ));
         });
     }
 }

@@ -1,8 +1,8 @@
 //! Global and local tensors.
 
+use ascend_sim::chip::ScratchpadKind;
 use ascend_sim::mem::{GlobalMemory, Region};
 use ascend_sim::{EventTime, SimError, SimResult};
-use ascend_sim::chip::ScratchpadKind;
 use dtypes::Element;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -118,7 +118,8 @@ impl<T: Element> GlobalTensor<T> {
         for (i, v) in src.iter().enumerate() {
             v.write_le(&mut bytes[i * T::SIZE..(i + 1) * T::SIZE]);
         }
-        self.gm.device_write(self.region, elem_off * T::SIZE, &bytes)
+        self.gm
+            .device_write(self.region, elem_off * T::SIZE, &bytes)
     }
 }
 
@@ -135,6 +136,9 @@ pub struct LocalTensor<T: Element> {
     pub(crate) pos: ScratchpadKind,
     /// Simulated time when the current contents are valid.
     pub(crate) ready: EventTime,
+    /// Simcheck lifetime id assigned by the allocating core's
+    /// [`ScratchTracker`](ascend_sim::ScratchTracker); 0 = untracked.
+    pub(crate) alloc_id: u64,
 }
 
 impl<T: Element> LocalTensor<T> {
@@ -143,6 +147,7 @@ impl<T: Element> LocalTensor<T> {
             data: vec![T::zero(); len],
             pos,
             ready,
+            alloc_id: 0,
         }
     }
 
@@ -173,12 +178,7 @@ impl<T: Element> LocalTensor<T> {
     }
 
     /// Bounds-check helper for intrinsics.
-    pub(crate) fn check_range(
-        &self,
-        what: &'static str,
-        off: usize,
-        len: usize,
-    ) -> SimResult<()> {
+    pub(crate) fn check_range(&self, what: &'static str, off: usize, len: usize) -> SimResult<()> {
         if off + len > self.data.len() {
             return Err(SimError::OutOfBounds {
                 what,

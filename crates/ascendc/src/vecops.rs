@@ -60,11 +60,7 @@ impl_bits!(u16);
 impl_bits!(u32);
 
 impl Core<'_> {
-    fn check_vec<T: Element>(
-        &self,
-        what: &'static str,
-        t: &LocalTensor<T>,
-    ) -> SimResult<()> {
+    fn check_vec<T: Element>(&self, what: &'static str, t: &LocalTensor<T>) -> SimResult<()> {
         if self.kind != CoreKind::Vector {
             return Err(SimError::WrongCore {
                 instr: what,
@@ -77,7 +73,7 @@ impl Core<'_> {
                 t.pos.name()
             )));
         }
-        Ok(())
+        self.check_live(what, t)
     }
 
     fn vec_exec(&mut self, bytes: usize, deps: &[EventTime]) -> SimResult<EventTime> {
@@ -241,7 +237,9 @@ impl Core<'_> {
         }
         let acc = pairwise(&t.data[off..off + len]);
         let cost = self.spec.cost_vector_reduce(len * T::SIZE) + self.spec.cost_scalar_extract();
-        let done = self.timeline_mut().exec(EngineKind::Vec, cost, &[t.ready])?;
+        let done = self
+            .timeline_mut()
+            .exec(EngineKind::Vec, cost, &[t.ready])?;
         Ok((acc, done))
     }
 
@@ -264,7 +262,9 @@ impl Core<'_> {
             }
         }
         let cost = self.spec.cost_vector_reduce(len * T::SIZE) + self.spec.cost_scalar_extract();
-        let done = self.timeline_mut().exec(EngineKind::Vec, cost, &[t.ready])?;
+        let done = self
+            .timeline_mut()
+            .exec(EngineKind::Vec, cost, &[t.ready])?;
         Ok((best, done))
     }
 
@@ -278,7 +278,9 @@ impl Core<'_> {
         self.check_vec("Extract", t)?;
         t.check_range("Extract", idx, 1)?;
         let cost = self.spec.cost_scalar_extract();
-        let done = self.timeline_mut().exec(EngineKind::Scalar, cost, &[t.ready])?;
+        let done = self
+            .timeline_mut()
+            .exec(EngineKind::Scalar, cost, &[t.ready])?;
         Ok((t.data[idx], done))
     }
 
@@ -326,9 +328,9 @@ impl Core<'_> {
             }
         }
         let cost = self.spec.cost_vector_reduce((len + count) * T::SIZE);
-        let done = self
-            .timeline_mut()
-            .exec(EngineKind::Vec, cost, &[dst.ready, src.ready, mask.ready])?;
+        let done =
+            self.timeline_mut()
+                .exec(EngineKind::Vec, cost, &[dst.ready, src.ready, mask.ready])?;
         dst.ready = done;
         Ok((count, done))
     }
@@ -361,10 +363,7 @@ impl Core<'_> {
             };
             dst_mask.data[off + i] = u8::from(hit);
         }
-        let done = self.vec_exec(
-            len * T::SIZE,
-            &[dst_mask.ready, src.ready, scalar_ready],
-        )?;
+        let done = self.vec_exec(len * T::SIZE, &[dst_mask.ready, src.ready, scalar_ready])?;
         dst_mask.ready = done;
         Ok(done)
     }
@@ -391,10 +390,7 @@ impl Core<'_> {
                 b.data[off + i]
             };
         }
-        let done = self.vec_exec(
-            len * T::SIZE,
-            &[dst.ready, mask.ready, a.ready, b.ready],
-        )?;
+        let done = self.vec_exec(len * T::SIZE, &[dst.ready, mask.ready, a.ready, b.ready])?;
         dst.ready = done;
         Ok(done)
     }
@@ -713,8 +709,11 @@ mod tests {
     fn bitcast_requires_equal_width() {
         with_vec_core(|core| {
             let mut dst16 = core.alloc_local::<u16>(ScratchpadKind::Ub, 2).unwrap();
-            let mut f16s = core.alloc_local::<dtypes::F16>(ScratchpadKind::Ub, 2).unwrap();
-            f16s.data.copy_from_slice(&[dtypes::F16::ONE, dtypes::F16::NEG_ONE]);
+            let mut f16s = core
+                .alloc_local::<dtypes::F16>(ScratchpadKind::Ub, 2)
+                .unwrap();
+            f16s.data
+                .copy_from_slice(&[dtypes::F16::ONE, dtypes::F16::NEG_ONE]);
             core.vbitcast(&mut dst16, &f16s, 0, 2).unwrap();
             assert_eq!(dst16.as_slice(), &[0x3C00, 0xBC00]);
 

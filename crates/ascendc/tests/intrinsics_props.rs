@@ -151,7 +151,10 @@ fn traced_launch_matches_untraced_timing() {
     };
     let plain = launch(&spec, &gm, 2, "t", kernel).unwrap();
     let (traced, events) = launch_traced(&spec, &gm, 2, "t", kernel).unwrap();
-    assert_eq!(plain.cycles, traced.cycles, "tracing must not change timing");
+    assert_eq!(
+        plain.cycles, traced.cycles,
+        "tracing must not change timing"
+    );
     assert!(!events.is_empty());
     // Every event is well-formed and within the kernel's span.
     for e in &events {

@@ -4,7 +4,7 @@
 //! reports the *simulated* device times; both matter — the simulator
 //! itself must stay fast enough to sweep the paper's parameter ranges.
 
-use ascend_sim::ChipSpec;
+use ascend_sim::{ChipSpec, ValidationMode};
 use ascendc::GlobalTensor;
 use bench::{baseline_top_p, fresh_gm, synth_f16, synth_mask, synth_probs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -16,7 +16,7 @@ use scan::{batched_scanu, batched_scanul1, cumsum_vec_only, scanu, scanul1};
 const N: usize = 1 << 18; // 256 Ki elements per iteration
 
 fn bench_fig3_single_core(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let data = vec![F16::ONE; N];
     let mut g = c.benchmark_group("fig3_single_core");
     g.throughput(Throughput::Elements(N as u64));
@@ -46,7 +46,7 @@ fn bench_fig3_single_core(c: &mut Criterion) {
 }
 
 fn bench_fig5_batched(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let (batch, len) = (8usize, 1 << 15);
     let data = vec![F16::ONE; batch * len];
     let mut g = c.benchmark_group("fig5_batched");
@@ -70,7 +70,7 @@ fn bench_fig5_batched(c: &mut Criterion) {
 }
 
 fn bench_fig8_mcscan(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let data = vec![F16::ONE; N];
     let mut g = c.benchmark_group("fig8_mcscan");
     g.throughput(Throughput::Elements(N as u64));
@@ -84,7 +84,11 @@ fn bench_fig8_mcscan(c: &mut Criterion) {
                     &spec,
                     &gm,
                     &x,
-                    McScanConfig { s, blocks: spec.ai_cores, kind: ScanKind::Inclusive },
+                    McScanConfig {
+                        s,
+                        blocks: spec.ai_cores,
+                        kind: ScanKind::Inclusive,
+                    },
                 )
                 .unwrap()
             })
@@ -101,7 +105,7 @@ fn bench_fig8_mcscan(c: &mut Criterion) {
 }
 
 fn bench_fig9_int8(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let mask = vec![1u8; N];
     let mut g = c.benchmark_group("fig9_int8");
     g.throughput(Throughput::Elements(N as u64));
@@ -114,7 +118,11 @@ fn bench_fig9_int8(c: &mut Criterion) {
                 &spec,
                 &gm,
                 &x,
-                McScanConfig { s: 128, blocks: spec.ai_cores, kind: ScanKind::Inclusive },
+                McScanConfig {
+                    s: 128,
+                    blocks: spec.ai_cores,
+                    kind: ScanKind::Inclusive,
+                },
             )
             .unwrap()
         })
@@ -123,7 +131,7 @@ fn bench_fig9_int8(c: &mut Criterion) {
 }
 
 fn bench_fig10_compress(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let vals = synth_f16(N, 1);
     let mask = synth_mask(N, 2);
     let mut g = c.benchmark_group("fig10_compress");
@@ -157,7 +165,7 @@ fn bench_fig10_compress(c: &mut Criterion) {
 }
 
 fn bench_fig11_sort(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let n = 1 << 16;
     let vals = synth_f16(n, 3);
     let mut g = c.benchmark_group("fig11_sort");
@@ -181,7 +189,7 @@ fn bench_fig11_sort(c: &mut Criterion) {
 }
 
 fn bench_fig13_topp(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let n = 1 << 14;
     let probs = synth_probs(n, 9);
     let mut g = c.benchmark_group("fig13_topp");
@@ -205,7 +213,7 @@ fn bench_fig13_topp(c: &mut Criterion) {
 }
 
 fn bench_topk(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let n = 1 << 16;
     let vals = synth_f16(n, 5);
     let mut g = c.benchmark_group("topk");

@@ -5,10 +5,10 @@
 //! `figures` binary tractable.
 
 use ascend_sim::mem::GlobalMemory;
-use ascend_sim::{ChipSpec, CoreKind, CoreTimeline, EngineKind};
+use ascend_sim::{ChipSpec, CoreKind, CoreTimeline, EngineKind, ValidationMode};
 use ascendc::{launch, GlobalTensor, ScratchpadKind};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dtypes::{F16, RadixKey};
+use dtypes::{RadixKey, F16};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -64,7 +64,7 @@ fn bench_timeline(c: &mut Criterion) {
 }
 
 fn bench_gm_transfers(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let data = vec![F16::ONE; 1 << 16];
     let mut g = c.benchmark_group("global_memory");
     g.throughput(Throughput::Bytes((data.len() * 2) as u64));
@@ -79,7 +79,7 @@ fn bench_gm_transfers(c: &mut Criterion) {
 }
 
 fn bench_launch_overhead(c: &mut Criterion) {
-    let spec = ChipSpec::ascend_910b4();
+    let spec = ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap);
     let mut g = c.benchmark_group("launch");
     g.sample_size(20);
     g.bench_function("empty_kernel_20_blocks", |b| {

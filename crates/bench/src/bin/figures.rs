@@ -27,8 +27,13 @@ fn main() {
         .unwrap_or("all");
 
     let spec = ChipSpec::ascend_910b4();
-    println!("chip: {} ({} cube cores, {} vector cores, {:.0} GB/s HBM)\n",
-        spec.name, spec.ai_cores, spec.total_vec_cores(), spec.hbm_bytes_per_sec / 1e9);
+    println!(
+        "chip: {} ({} cube cores, {} vector cores, {:.0} GB/s HBM)\n",
+        spec.name,
+        spec.ai_cores,
+        spec.total_vec_cores(),
+        spec.hbm_bytes_per_sec / 1e9
+    );
 
     match which {
         "fig3" => fig3(&spec, quick),
@@ -78,8 +83,19 @@ fn us(r: &KernelReport) -> String {
 /// ScanUL1 (fp16, s = 128).
 fn fig3(spec: &ChipSpec, quick: bool) {
     println!("== Figure 3: single-core scans, execution time (us), fp16, s = 128 ==");
-    let sizes = if quick { sweep(1 << 12, 4, 4) } else { sweep(1 << 12, 4, 6) };
-    let mut t = Table::new(&["N", "vec_only", "ScanU", "ScanUL1", "U-speedup", "UL1-speedup"]);
+    let sizes = if quick {
+        sweep(1 << 12, 4, 4)
+    } else {
+        sweep(1 << 12, 4, 6)
+    };
+    let mut t = Table::new(&[
+        "N",
+        "vec_only",
+        "ScanU",
+        "ScanUL1",
+        "U-speedup",
+        "UL1-speedup",
+    ]);
     let mut last = (0.0, 0.0);
     for n in sizes {
         let gm = fresh_gm(spec);
@@ -108,8 +124,16 @@ fn fig3(spec: &ChipSpec, quick: bool) {
 /// Fig. 5 — batched ScanUL1 / ScanU time ratio heatmap (>1 ⇒ ScanU wins).
 fn fig5(spec: &ChipSpec, quick: bool) {
     println!("== Figure 5: batched scan time ratio ScanUL1 / ScanU (>1 means ScanU wins) ==");
-    let lens: Vec<usize> = if quick { vec![512, 4096, 32768] } else { vec![512, 2048, 8192, 32768, 65536] };
-    let batches: Vec<usize> = if quick { vec![4, 18, 40] } else { vec![2, 8, 16, 18, 20, 32, 40] };
+    let lens: Vec<usize> = if quick {
+        vec![512, 4096, 32768]
+    } else {
+        vec![512, 2048, 8192, 32768, 65536]
+    };
+    let batches: Vec<usize> = if quick {
+        vec![4, 18, 40]
+    } else {
+        vec![2, 8, 16, 18, 20, 32, 40]
+    };
     let mut header: Vec<String> = vec!["batch \\ len".into()];
     header.extend(lens.iter().map(|&l| human(l)));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
@@ -119,21 +143,31 @@ fn fig5(spec: &ChipSpec, quick: bool) {
             let gm = fresh_gm(spec);
             let data = vec![F16::ZERO; b * len];
             let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-            let u = batched_scanu::<F16, F16>(spec, &gm, &x, b, len, 128).unwrap().report;
-            let ul1 = batched_scanul1::<F16, F16>(spec, &gm, &x, b, len, 128).unwrap().report;
+            let u = batched_scanu::<F16, F16>(spec, &gm, &x, b, len, 128)
+                .unwrap()
+                .report;
+            let ul1 = batched_scanul1::<F16, F16>(spec, &gm, &x, b, len, 128)
+                .unwrap()
+                .report;
             row.push(format!("{:.2}", ul1.time_s() / u.time_s()));
         }
         t.row(row);
     }
     t.print();
-    println!("  paper: ScanU wins for batch > 18 & len < 4K; ScanUL1 wins for batch < 18 & len > 4K\n");
+    println!(
+        "  paper: ScanU wins for batch > 18 & len < 4K; ScanUL1 wins for batch < 18 & len > 4K\n"
+    );
 }
 
 /// Fig. 8 — MCScan bandwidth (GB/s) vs input length for s = 32/64/128,
 /// with the torch.clone copy kernel as the roofline reference.
 fn fig8(spec: &ChipSpec, quick: bool) {
     println!("== Figure 8: MCScan bandwidth (GB/s), fp16, vs torch.clone (peak 800 GB/s) ==");
-    let sizes = if quick { sweep(1 << 16, 8, 3) } else { sweep(1 << 16, 4, 6) };
+    let sizes = if quick {
+        sweep(1 << 16, 8, 3)
+    } else {
+        sweep(1 << 16, 4, 6)
+    };
     let mut t = Table::new(&["N", "s=32", "s=64", "s=128", "clone", "s128 %peak"]);
     for n in sizes {
         let data = vec![F16::ZERO; n];
@@ -146,7 +180,11 @@ fn fig8(spec: &ChipSpec, quick: bool) {
                 spec,
                 &gm,
                 &x,
-                McScanConfig { s, blocks: spec.ai_cores, kind: ScanKind::Inclusive },
+                McScanConfig {
+                    s,
+                    blocks: spec.ai_cores,
+                    kind: ScanKind::Inclusive,
+                },
             )
             .unwrap()
             .report;
@@ -169,10 +207,18 @@ fn fig8(spec: &ChipSpec, quick: bool) {
 /// Fig. 9 — MCScan GElems/s for fp16 vs int8 inputs (s = 128).
 fn fig9(spec: &ChipSpec, quick: bool) {
     println!("== Figure 9: MCScan giga-elements/s, fp16 vs int8 (s = 128) ==");
-    let sizes = if quick { sweep(1 << 18, 8, 3) } else { sweep(1 << 18, 4, 5) };
+    let sizes = if quick {
+        sweep(1 << 18, 8, 3)
+    } else {
+        sweep(1 << 18, 4, 5)
+    };
     let mut t = Table::new(&["N", "fp16", "int8", "int8 gain"]);
     for n in sizes {
-        let cfg = McScanConfig { s: 128, blocks: spec.ai_cores, kind: ScanKind::Inclusive };
+        let cfg = McScanConfig {
+            s: 128,
+            blocks: spec.ai_cores,
+            kind: ScanKind::Inclusive,
+        };
         let gm = fresh_gm(spec);
         let xf = GlobalTensor::from_slice(&gm, &vec![F16::ZERO; n]).unwrap();
         let rf = mcscan::<F16, F16, F16>(spec, &gm, &xf, cfg).unwrap().report;
@@ -193,7 +239,11 @@ fn fig9(spec: &ChipSpec, quick: bool) {
 /// Fig. 10 — Compress bandwidth vs torch.masked_select (Bernoulli(1/2)).
 fn fig10(spec: &ChipSpec, quick: bool) {
     println!("== Figure 10: compress (masked_select) bandwidth (GB/s), fp16 values ==");
-    let sizes = if quick { sweep(1 << 16, 8, 3) } else { sweep(1 << 16, 4, 5) };
+    let sizes = if quick {
+        sweep(1 << 16, 8, 3)
+    } else {
+        sweep(1 << 16, 4, 5)
+    };
     let mut t = Table::new(&["N", "s=32", "s=64", "s=128", "torch.masked_select"]);
     for n in sizes {
         let vals = synth_f16(n, 1);
@@ -203,7 +253,9 @@ fn fig10(spec: &ChipSpec, quick: bool) {
             let gm = fresh_gm(spec);
             let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
             let m = GlobalTensor::from_slice(&gm, &mask).unwrap();
-            let r = compress(spec, &gm, &x, &m, s, spec.ai_cores).unwrap().report;
+            let r = compress(spec, &gm, &x, &m, s, spec.ai_cores)
+                .unwrap()
+                .report;
             cells.push(format!("{:.0}", r.gbps()));
         }
         let gm = fresh_gm(spec);
@@ -251,7 +303,11 @@ fn fig11(spec: &ChipSpec, quick: bool) {
 fn fig12(spec: &ChipSpec, quick: bool) {
     println!("== Figure 12: batched scan (ScanU schedule) bandwidth (GB/s), len = 64K ==");
     let len = 65536usize;
-    let batches: Vec<usize> = if quick { vec![4, 16, 40] } else { vec![1, 2, 4, 8, 16, 24, 32, 40] };
+    let batches: Vec<usize> = if quick {
+        vec![4, 16, 40]
+    } else {
+        vec![1, 2, 4, 8, 16, 24, 32, 40]
+    };
     let mut t = Table::new(&["batch", "s=16", "s=32", "s=64", "s=128", "baseline"]);
     for &b in &batches {
         let data = vec![F16::ZERO; b * len];
@@ -259,7 +315,9 @@ fn fig12(spec: &ChipSpec, quick: bool) {
         for s in [16usize, 32, 64, 128] {
             let gm = fresh_gm(spec);
             let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-            let r = batched_scanu::<F16, F16>(spec, &gm, &x, b, len, s).unwrap().report;
+            let r = batched_scanu::<F16, F16>(spec, &gm, &x, b, len, s)
+                .unwrap()
+                .report;
             cells.push(format!("{:.0}", r.gbps()));
         }
         // torch.cumsum baseline over the same batch: row-parallel
@@ -277,7 +335,11 @@ fn fig12(spec: &ChipSpec, quick: bool) {
 /// Fig. 13 — top-p sampling time vs vocabulary size (batch 1).
 fn fig13(spec: &ChipSpec, quick: bool) {
     println!("== Figure 13: top-p (nucleus) sampling time (ms), one sample ==");
-    let sizes = if quick { sweep(1 << 10, 16, 3) } else { sweep(1 << 10, 4, 6) };
+    let sizes = if quick {
+        sweep(1 << 10, 16, 3)
+    } else {
+        sweep(1 << 10, 4, 6)
+    };
     let mut t = Table::new(&["vocab", "s=32", "s=64", "s=128", "PyTorch", "s128 speedup"]);
     for n in sizes {
         let probs = synth_probs(n, 9);
@@ -308,7 +370,11 @@ fn fig13(spec: &ChipSpec, quick: bool) {
 /// §6.1 text — MCScan speedup over single-core ScanU (saturates ~15.2x).
 fn speedup(spec: &ChipSpec, quick: bool) {
     println!("== MCScan vs single-cube ScanU speedup (paper: saturates at 15.2x on 20 cores) ==");
-    let sizes = if quick { sweep(1 << 18, 8, 3) } else { sweep(1 << 18, 4, 5) };
+    let sizes = if quick {
+        sweep(1 << 18, 8, 3)
+    } else {
+        sweep(1 << 18, 4, 5)
+    };
     let mut t = Table::new(&["N", "ScanU (us)", "MCScan (us)", "speedup"]);
     for n in sizes {
         let data = vec![F16::ZERO; n];
@@ -336,13 +402,19 @@ fn speedup(spec: &ChipSpec, quick: bool) {
 fn topk_experiment(spec: &ChipSpec, quick: bool) {
     println!("== Top-k: SplitInd-based selection vs baseline torch.topk (paper: negative result for k <= 4096) ==");
     let n = if quick { 1 << 18 } else { 1 << 20 };
-    let ks: Vec<usize> = if quick { vec![64, 4096] } else { vec![64, 256, 1024, 4096, 16384, 65536] };
+    let ks: Vec<usize> = if quick {
+        vec![64, 4096]
+    } else {
+        vec![64, 256, 1024, 4096, 16384, 65536]
+    };
     let vals = synth_f16(n, 5);
     let mut t = Table::new(&["k", "ours (ms)", "torch.topk (ms)", "ours/baseline"]);
     for &k in &ks {
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
-        let r = topk::<F16>(spec, &gm, &x, k, 128, spec.ai_cores).unwrap().report;
+        let r = topk::<F16>(spec, &gm, &x, k, 128, spec.ai_cores)
+            .unwrap()
+            .report;
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
         let (_, _, b) = baselines::topk_baseline::<F16>(spec, &gm, &x, k).unwrap();
@@ -361,7 +433,11 @@ fn topk_experiment(spec: &ChipSpec, quick: bool) {
 /// scan strategies of §2.1 (time in us; int8 -> i32, s = 128).
 fn ablation(spec: &ChipSpec, quick: bool) {
     println!("== Ablation: MCScan recomputation vs classic strategies (us, int8, s = 128) ==");
-    let sizes = if quick { sweep(1 << 16, 16, 2) } else { sweep(1 << 16, 4, 5) };
+    let sizes = if quick {
+        sweep(1 << 16, 16, 2)
+    } else {
+        sweep(1 << 16, 4, 5)
+    };
     let mut header = vec!["N".to_string()];
     header.extend(McScanVariant::ALL.iter().map(|v| v.name().to_string()));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
@@ -371,8 +447,14 @@ fn ablation(spec: &ChipSpec, quick: bool) {
         for v in McScanVariant::ALL {
             let gm = fresh_gm(spec);
             let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-            let cfg = McScanConfig { s: 128, blocks: spec.ai_cores, kind: ScanKind::Inclusive };
-            let r = mcscan_variant::<i8, i16, i32>(spec, &gm, &x, cfg, v).unwrap().report;
+            let cfg = McScanConfig {
+                s: 128,
+                blocks: spec.ai_cores,
+                kind: ScanKind::Inclusive,
+            };
+            let r = mcscan_variant::<i8, i16, i32>(spec, &gm, &x, cfg, v)
+                .unwrap()
+                .report;
             cells.push(format!("{:.1}", r.time_us()));
         }
         t.row(cells);
@@ -387,7 +469,11 @@ fn ablation(spec: &ChipSpec, quick: bool) {
 /// faster because radix passes equal the key width (8 passes vs 16).
 fn lowbit(spec: &ChipSpec, quick: bool) {
     println!("== Low-precision sort: int8 (8 passes) vs fp16 (16 passes) radix sort (ms) ==");
-    let sizes = if quick { vec![1 << 18] } else { vec![1 << 18, 1 << 20, 1 << 22] };
+    let sizes = if quick {
+        vec![1 << 18]
+    } else {
+        vec![1 << 18, 1 << 20, 1 << 22]
+    };
     let mut t = Table::new(&["N", "fp16 sort", "int8 sort", "gain"]);
     for n in sizes {
         let vals16 = synth_f16(n, 21);
@@ -428,7 +514,11 @@ fn scaling(spec: &ChipSpec, quick: bool) {
             spec,
             &gm,
             &x,
-            McScanConfig { s: 128, blocks, kind: ScanKind::Inclusive },
+            McScanConfig {
+                s: 128,
+                blocks,
+                kind: ScanKind::Inclusive,
+            },
         )
         .unwrap()
         .report;
@@ -469,7 +559,11 @@ fn tiles(quick: bool) {
             &fat,
             &gm,
             &x,
-            McScanConfig { s, blocks: fat.ai_cores, kind: ScanKind::Inclusive },
+            McScanConfig {
+                s,
+                blocks: fat.ai_cores,
+                kind: ScanKind::Inclusive,
+            },
         )
         .unwrap()
         .report;
@@ -489,16 +583,24 @@ fn tiles(quick: bool) {
 /// against the 1N-read roofline.
 fn reduce_experiment(spec: &ChipSpec, quick: bool) {
     println!("== Reduction: cube (A @ 1s) vs vector-only, bandwidth (GB/s, fp16) ==");
-    let sizes = if quick { sweep(1 << 18, 16, 2) } else { sweep(1 << 18, 4, 5) };
+    let sizes = if quick {
+        sweep(1 << 18, 16, 2)
+    } else {
+        sweep(1 << 18, 4, 5)
+    };
     let mut t = Table::new(&["N", "cube", "vector", "MCScan (ref)"]);
     for n in sizes {
         let data = vec![F16::ONE; n];
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        let rc = scan::reduce_cube::<F16>(spec, &gm, &x, 128, spec.ai_cores).unwrap().report;
+        let rc = scan::reduce_cube::<F16>(spec, &gm, &x, 128, spec.ai_cores)
+            .unwrap()
+            .report;
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        let rv = scan::reduce_vec::<F16>(spec, &gm, &x, spec.ai_cores).unwrap().report;
+        let rv = scan::reduce_vec::<F16>(spec, &gm, &x, spec.ai_cores)
+            .unwrap()
+            .report;
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let ms = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))

@@ -18,10 +18,7 @@ use dtypes::F16;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let kernel = args.first().map(String::as_str).unwrap_or("mcscan");
-    let n: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1 << 18);
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
     let default_out = format!("{kernel}_trace.json");
     let out = args.get(2).map(String::as_str).unwrap_or(&default_out);
 
@@ -72,7 +69,11 @@ fn trace_mcscan_like(
     let l = s * s;
     let n = x.len();
     let u = GlobalTensor::from_slice(gm, &upper_ones::<F16>(s)).unwrap();
-    let blocks = if kernel == "copy" { spec.ai_cores } else { 4.min(spec.ai_cores) };
+    let blocks = if kernel == "copy" {
+        spec.ai_cores
+    } else {
+        4.min(spec.ai_cores)
+    };
 
     ascendc::launch_traced(spec, gm, blocks, kernel, |ctx| {
         let nblocks = ctx.block_dim as usize;
@@ -133,7 +134,7 @@ fn trace_mcscan_like(
                 ro += rl;
             }
             vc.copy_out(y, off, &buf, 0, valid, &[])?;
-            vc.free_local(buf);
+            vc.free_local(buf)?;
         }
         Ok(())
     })

@@ -177,7 +177,7 @@ pub fn batched_cumsum_baseline(
                     off += valid;
                 }
             }
-            vc.free_local(tmp);
+            vc.free_local(tmp)?;
             q.destroy(vc)?;
         }
         Ok(())

@@ -102,12 +102,7 @@ impl Device {
     /// Inclusive scan with MCScan on all cores (`s = 128`), the paper's
     /// flagship configuration.
     pub fn cumsum<T: CubeInput>(&self, x: &GlobalTensor<T>) -> SimResult<ScanRun<T>> {
-        scan::mcscan::mcscan::<T, T, T>(
-            &self.spec,
-            &self.gm,
-            x,
-            McScanConfig::for_chip(&self.spec),
-        )
+        scan::mcscan::mcscan::<T, T, T>(&self.spec, &self.gm, x, McScanConfig::for_chip(&self.spec))
     }
 
     /// Exclusive int8-mask scan (`u8 → i16 → i32`), the split/compress
@@ -161,7 +156,15 @@ impl Device {
         p: f64,
         theta: f64,
     ) -> SimResult<ops::topp::TopPRun> {
-        ops::top_p_sample(&self.spec, &self.gm, probs, p, theta, 128, self.spec.ai_cores)
+        ops::top_p_sample(
+            &self.spec,
+            &self.gm,
+            probs,
+            p,
+            theta,
+            128,
+            self.spec.ai_cores,
+        )
     }
 
     /// Weighted sampling by inverse transform (unbounded support size).
@@ -206,7 +209,11 @@ mod tests {
             dev.spec(),
             dev.memory(),
             &x,
-            McScanConfig { s: 16, blocks: 2, kind: ScanKind::Inclusive },
+            McScanConfig {
+                s: 16,
+                blocks: 2,
+                kind: ScanKind::Inclusive,
+            },
         )
         .unwrap();
         assert_eq!(

@@ -1,0 +1,256 @@
+//! Offline drop-in subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking API.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the workspace vendors the slice of criterion its
+//! benches use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `throughput`, `sample_size`,
+//! `bench_function`, `bench_with_input` and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple: a short warm-up, then
+//! `sample_size` timed samples of one iteration each; the median,
+//! minimum and derived throughput are printed per benchmark. There are
+//! no HTML reports, no statistical regression analysis and no saved
+//! baselines — enough to compare kernels locally and to keep
+//! `cargo bench` compiling and running.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement driver handed to each benchmark function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.default_sample_size, None, f);
+        self
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures one sample: runs `body` once and records its wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        let out = body();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(std::hint::black_box(out));
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up sample (not recorded).
+    let mut warm = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut warm);
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            times.push(b.elapsed / b.iters as u32);
+        }
+    }
+    times.sort();
+    if times.is_empty() {
+        println!("  {id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let median = times[times.len() / 2];
+    let best = times[0];
+    let rate = throughput
+        .map(|t| {
+            let per_s = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!(", {:.3} Melem/s", per_s(n) / 1e6),
+                Throughput::Bytes(n) => format!(", {:.3} MiB/s", per_s(n) / (1024.0 * 1024.0)),
+            }
+        })
+        .unwrap_or_default();
+    println!("  {id}: median {median:?}, best {best:?}{rate}");
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        g.finish();
+        assert_eq!(runs, 4, "1 warm-up + 3 samples");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+    }
+}

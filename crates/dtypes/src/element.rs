@@ -384,7 +384,10 @@ mod tests {
 
     #[test]
     fn cube_mac_domains() {
-        assert_eq!(<F16 as CubeInput>::mac(F16::from_f32(3.0), F16::from_f32(4.0)), 12.0f32);
+        assert_eq!(
+            <F16 as CubeInput>::mac(F16::from_f32(3.0), F16::from_f32(4.0)),
+            12.0f32
+        );
         assert_eq!(<i8 as CubeInput>::mac(-100, 100), -10000i32);
         assert_eq!(<u8 as CubeInput>::mac(1, 1), 1i32);
         assert_eq!(F16::CUBE_RATE_X4, 4);

@@ -310,7 +310,16 @@ mod tests {
 
     #[test]
     fn simple_values() {
-        for v in [0.5f32, 2.0, 3.5, 100.0, -0.25, 1024.0, 0.1, -3.14159] {
+        for v in [
+            0.5f32,
+            2.0,
+            3.5,
+            100.0,
+            -0.25,
+            1024.0,
+            0.1,
+            -std::f32::consts::PI,
+        ] {
             let h = F16::from_f32(v);
             let back = h.to_f32();
             let rel = ((back - v) / v).abs();
@@ -350,6 +359,39 @@ mod tests {
         assert_eq!(F16::from_f32(2.0f32.powi(-24)), smallest);
         // Halfway below the smallest subnormal rounds to zero (ties-to-even).
         assert_eq!(F16::from_f32(2.0f32.powi(-26)), F16::ZERO);
+    }
+
+    #[test]
+    fn subnormal_boundary_round_trips_exactly() {
+        // Regression guard for proptest-regressions/f16.txt ("shrinks to
+        // bits = 1"): the smallest subnormal (0x0001), the largest
+        // subnormal (0x03FF), and the smallest normal (0x0400) must all
+        // survive the f32 round trip bit-exactly, in both signs.
+        for bits in [0x0001u16, 0x03FF, 0x0400] {
+            for sign in [0x0000u16, 0x8000] {
+                let h = F16::from_bits(bits | sign);
+                let rt = F16::from_f32(h.to_f32());
+                assert_eq!(rt.to_bits(), bits | sign, "bits {:#06x}", bits | sign);
+            }
+        }
+        assert_eq!(F16::from_bits(0x0001).to_f32(), 2.0f32.powi(-24));
+        assert_eq!(F16::from_bits(0x03FF).to_f32(), 1023.0 * 2.0f32.powi(-24));
+        assert_eq!(F16::from_bits(0x0400).to_f32(), 2.0f32.powi(-14));
+    }
+
+    #[test]
+    fn roundtrip_is_identity_for_every_bit_pattern() {
+        // Exhaustive over all 65536 patterns: stronger than the sampled
+        // proptest below, and permanent cover for the subnormal boundary.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let rt = F16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(rt.is_nan(), "bits {bits:#06x}");
+            } else {
+                assert_eq!(rt.to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
     }
 
     #[test]

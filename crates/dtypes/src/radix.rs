@@ -150,7 +150,11 @@ impl RadixKey for F16 {
 
     #[inline]
     fn decode(enc: u16) -> F16 {
-        let bits = if enc & 0x8000 != 0 { enc & !0x8000 } else { !enc };
+        let bits = if enc & 0x8000 != 0 {
+            enc & !0x8000
+        } else {
+            !enc
+        };
         F16::from_bits(bits)
     }
 }
@@ -228,7 +232,11 @@ mod tests {
         assert_eq!((-1i8).encode(), 0x7F);
         assert_eq!(0i8.encode(), 0x80);
         assert_eq!(i8::MAX.encode(), 0xFF);
-        assert_eq!(<u8 as RadixKey>::BITS, 8, "8-bit sorts need half the passes of fp16");
+        assert_eq!(
+            <u8 as RadixKey>::BITS,
+            8,
+            "8-bit sorts need half the passes of fp16"
+        );
     }
 
     proptest! {

@@ -55,7 +55,9 @@ pub fn build_alias_table(
 ) -> SimResult<AliasTable> {
     let n = w.len();
     if n == 0 {
-        return Err(SimError::InvalidArgument("alias table: empty weights".into()));
+        return Err(SimError::InvalidArgument(
+            "alias table: empty weights".into(),
+        ));
     }
 
     // 1. Total mass via inclusive scan (device).
@@ -63,7 +65,11 @@ pub fn build_alias_table(
         spec,
         gm,
         w,
-        McScanConfig { s, blocks, kind: ScanKind::Inclusive },
+        McScanConfig {
+            s,
+            blocks,
+            kind: ScanKind::Inclusive,
+        },
     )?;
     let total = scan_run.y.read_range(n - 1, 1)?[0] as f64;
     if total <= 0.0 {
@@ -101,8 +107,8 @@ pub fn build_alias_table(
                 vc.vcompare_scalar(&mut mk, &buf, 0, valid, CmpMode::Lt, 1.0f32, 0)?;
                 vc.copy_out(&mask, off, &mk, 0, valid, &[])?;
             }
-            vc.free_local(buf);
-            vc.free_local(mk);
+            vc.free_local(buf)?;
+            vc.free_local(mk)?;
         }
         Ok(())
     })?;
@@ -171,7 +177,12 @@ pub fn build_alias_table(
     );
     report.elements = n as u64;
     report.useful_bytes = (n * 4 + n * 8) as u64;
-    Ok(AliasTable { prob: prob_t, alias: alias_t, n, report })
+    Ok(AliasTable {
+        prob: prob_t,
+        alias: alias_t,
+        n,
+        report,
+    })
 }
 
 /// Draws one sample per `(theta_slot, theta_accept)` pair of uniform
@@ -184,7 +195,9 @@ pub fn alias_sample_many(
     thetas: &[(f64, f64)],
 ) -> SimResult<(Vec<u32>, KernelReport)> {
     if thetas.is_empty() {
-        return Err(SimError::InvalidArgument("alias sample: no draws requested".into()));
+        return Err(SimError::InvalidArgument(
+            "alias sample: no draws requested".into(),
+        ));
     }
     for &(a, b) in thetas {
         if !(0.0..1.0).contains(&a) || !(0.0..1.0).contains(&b) {
@@ -219,9 +232,9 @@ pub fn alias_sample_many(
                 vc.insert(&mut obuf, 0, token, ready)?;
                 vc.copy_out(&out, di, &obuf, 0, 1, &[])?;
             }
-            vc.free_local(pbuf);
-            vc.free_local(abuf);
-            vc.free_local(obuf);
+            vc.free_local(pbuf)?;
+            vc.free_local(abuf)?;
+            vc.free_local(obuf)?;
         }
         Ok(())
     })?;
@@ -302,7 +315,12 @@ mod tests {
         let t = build_alias_table(&spec, &gm, &x, 16, 1).unwrap();
         // A deterministic grid of variates approximates expectation.
         let thetas: Vec<(f64, f64)> = (0..400)
-            .map(|i| (((i % 20) as f64 + 0.5) / 20.0, ((i / 20) as f64 + 0.5) / 20.0))
+            .map(|i| {
+                (
+                    ((i % 20) as f64 + 0.5) / 20.0,
+                    ((i / 20) as f64 + 0.5) / 20.0,
+                )
+            })
             .collect();
         let (tokens, report) = alias_sample_many(&spec, &gm, &t, &thetas).unwrap();
         let hits5 = tokens.iter().filter(|&&t| t == 5).count() as f64 / 400.0;

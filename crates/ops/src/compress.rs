@@ -66,31 +66,29 @@ pub fn compress<E: Element>(
         spec,
         gm,
         mask,
-        McScanConfig { s, blocks, kind: ScanKind::Exclusive },
+        McScanConfig {
+            s,
+            blocks,
+            kind: ScanKind::Exclusive,
+        },
     )?;
     let offs = scan_run.y;
-    let n_true = (offs.read_range(n - 1, 1)?[0]
-        + i32::from(mask.read_range(n - 1, 1)?[0])) as usize;
+    let n_true =
+        (offs.read_range(n - 1, 1)?[0] + i32::from(mask.read_range(n - 1, 1)?[0])) as usize;
 
     let values = GlobalTensor::<E>::new(gm, n_true)?;
     let scatter_report = scatter_by_mask(
-        spec,
-        gm,
-        blocks,
-        x,
-        None,
-        mask,
-        &offs,
-        n_true,
-        &values,
-        None,
-        false,
+        spec, gm, blocks, x, None, mask, &offs, n_true, &values, None, false,
     )?;
 
     let mut report = KernelReport::sequential("Compress", &[scan_run.report, scatter_report]);
     report.elements = n as u64;
     report.useful_bytes = (n * (E::SIZE + 1) + n_true * E::SIZE) as u64;
-    Ok(CompressRun { values, n_true, report })
+    Ok(CompressRun {
+        values,
+        n_true,
+        report,
+    })
 }
 
 #[cfg(test)]

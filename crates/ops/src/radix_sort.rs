@@ -72,7 +72,10 @@ where
         return Ok(SortRun {
             values,
             indices,
-            report: KernelReport::sequential("RadixSort", &[launch(spec, gm, 1, "noop", |_| Ok(()))?]),
+            report: KernelReport::sequential(
+                "RadixSort",
+                &[launch(spec, gm, 1, "noop", |_| Ok(()))?],
+            ),
         });
     }
 
@@ -88,18 +91,24 @@ where
 
     // --- One split per bit plane. ---
     for bit in 0..K::BITS {
-        reports.push(radix_single::<K>(spec, gm, blocks, &keys_a, &mask, bit, order)?);
+        reports.push(radix_single::<K>(
+            spec, gm, blocks, &keys_a, &mask, bit, order,
+        )?);
 
         let scan_run = mcscan::<u8, i16, i32>(
             spec,
             gm,
             &mask,
-            McScanConfig { s, blocks, kind: ScanKind::Exclusive },
+            McScanConfig {
+                s,
+                blocks,
+                kind: ScanKind::Exclusive,
+            },
         )?;
         let offs = scan_run.y;
         reports.push(scan_run.report);
-        let n_true = (offs.read_range(n - 1, 1)?[0]
-            + i32::from(mask.read_range(n - 1, 1)?[0])) as usize;
+        let n_true =
+            (offs.read_range(n - 1, 1)?[0] + i32::from(mask.read_range(n - 1, 1)?[0])) as usize;
 
         reports.push(scatter_by_mask::<K::Encoded>(
             spec,
@@ -126,7 +135,11 @@ where
     let mut report = KernelReport::sequential("RadixSort", &reports);
     report.elements = n as u64;
     report.useful_bytes = (n * K::SIZE + n * (K::SIZE + 4)) as u64;
-    Ok(SortRun { values, indices, report })
+    Ok(SortRun {
+        values,
+        indices,
+        report,
+    })
 }
 
 fn pieces(piece: usize, n: usize) -> Vec<(usize, usize)> {
@@ -153,7 +166,11 @@ where
     K: RadixKey + Element,
     K::Encoded: Element + Bits + Numeric,
 {
-    let piece = crate::ub_piece(spec, K::SIZE + std::mem::size_of::<K::Encoded>() + 4, PIECE_CAP);
+    let piece = crate::ub_piece(
+        spec,
+        K::SIZE + std::mem::size_of::<K::Encoded>() + 4,
+        PIECE_CAP,
+    );
     let spans = pieces(piece, x.len());
     launch(spec, gm, blocks, "RadixEncode", |ctx| {
         let lane0 = ctx.block_idx as usize * ctx.vecs.len();
@@ -170,9 +187,9 @@ where
                 vc.viota(&mut ramp, 0, valid, off as u32)?;
                 vc.copy_out(idx, off, &ramp, 0, valid, &[])?;
             }
-            vc.free_local(raw);
-            vc.free_local(enc);
-            vc.free_local(ramp);
+            vc.free_local(raw)?;
+            vc.free_local(enc)?;
+            vc.free_local(ramp)?;
         }
         Ok(())
     })
@@ -214,8 +231,8 @@ where
                 vc.vcompare_scalar(&mut mk, &buf, 0, valid, mode, K::Encoded::zero(), 0)?;
                 vc.copy_out(mask, off, &mk, 0, valid, &[])?;
             }
-            vc.free_local(buf);
-            vc.free_local(mk);
+            vc.free_local(buf)?;
+            vc.free_local(mk)?;
         }
         Ok(())
     })
@@ -247,8 +264,8 @@ where
                 vc.vradix_decode::<K>(&mut out, &enc, 0, valid)?;
                 vc.copy_out(values, off, &out, 0, valid, &[])?;
             }
-            vc.free_local(enc);
-            vc.free_local(out);
+            vc.free_local(enc)?;
+            vc.free_local(out)?;
         }
         Ok(())
     })
@@ -275,7 +292,7 @@ fn copy_indices(
                 vc.copy_in(&mut buf, 0, src, off, valid, &[])?;
                 vc.copy_out(dst, off, &buf, 0, valid, &[])?;
             }
-            vc.free_local(buf);
+            vc.free_local(buf)?;
         }
         Ok(())
     })?;

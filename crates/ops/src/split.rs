@@ -64,11 +64,13 @@ pub fn split_ind<E: Element>(
     let values = GlobalTensor::<E>::new(gm, n)?;
     let indices = GlobalTensor::<u32>::new(gm, n)?;
     if n == 0 {
-        let report = KernelReport::sequential(
-            "SplitInd",
-            &[empty_report(spec)],
-        );
-        return Ok(SplitRun { values, indices, n_true: 0, report });
+        let report = KernelReport::sequential("SplitInd", &[empty_report(spec)]);
+        return Ok(SplitRun {
+            values,
+            indices,
+            n_true: 0,
+            report,
+        });
     }
 
     // 1. Exclusive scan of the mask on the int8 MCScan path.
@@ -76,11 +78,15 @@ pub fn split_ind<E: Element>(
         spec,
         gm,
         mask,
-        McScanConfig { s, blocks, kind: ScanKind::Exclusive },
+        McScanConfig {
+            s,
+            blocks,
+            kind: ScanKind::Exclusive,
+        },
     )?;
     let offs = scan_run.y;
-    let n_true = (offs.read_range(n - 1, 1)?[0]
-        + i32::from(mask.read_range(n - 1, 1)?[0])) as usize;
+    let n_true =
+        (offs.read_range(n - 1, 1)?[0] + i32::from(mask.read_range(n - 1, 1)?[0])) as usize;
 
     // 2. Scatter kernel.
     let scatter_report = scatter_by_mask(
@@ -100,7 +106,12 @@ pub fn split_ind<E: Element>(
     let mut report = KernelReport::sequential("SplitInd", &[scan_run.report, scatter_report]);
     report.elements = n as u64;
     report.useful_bytes = (n * (E::SIZE + 1) + n * (E::SIZE + 4)) as u64;
-    Ok(SplitRun { values, indices, n_true, report })
+    Ok(SplitRun {
+        values,
+        indices,
+        n_true,
+        report,
+    })
 }
 
 fn empty_report(spec: &ChipSpec) -> KernelReport {
@@ -222,13 +233,13 @@ pub(crate) fn scatter_by_mask<E: Element>(
                     }
                 }
             }
-            vc.free_local(val_in);
-            vc.free_local(val_gath);
-            vc.free_local(mk);
-            vc.free_local(mk_neg);
-            vc.free_local(idx_buf);
-            vc.free_local(idx_gath);
-            vc.free_local(base_buf);
+            vc.free_local(val_in)?;
+            vc.free_local(val_gath)?;
+            vc.free_local(mk)?;
+            vc.free_local(mk_neg)?;
+            vc.free_local(idx_buf)?;
+            vc.free_local(idx_gath)?;
+            vc.free_local(base_buf)?;
         }
         Ok(())
     })
@@ -343,7 +354,10 @@ mod tests {
         let m = GlobalTensor::from_slice(&gm, &mask).unwrap();
         let run = split_ind(&spec, &gm, &x, &m, 16, 2).unwrap();
         assert!(run.report.sync_rounds >= 1, "MCScan's barrier is counted");
-        assert!(run.report.cycles > 2 * spec.launch_cycles, "two kernels launched");
+        assert!(
+            run.report.cycles > 2 * spec.launch_cycles,
+            "two kernels launched"
+        );
         assert_eq!(run.report.elements, n as u64);
     }
 }

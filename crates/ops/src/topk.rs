@@ -80,22 +80,37 @@ where
 
         // Mask: "bit is 1" first (the larger half).
         let mask = GlobalTensor::<u8>::new(gm, len)?;
-        reports.push(bit_mask_kernel::<K>(spec, gm, blocks, &keys_view, &mask, bit)?);
+        reports.push(bit_mask_kernel::<K>(
+            spec, gm, blocks, &keys_view, &mask, bit,
+        )?);
 
         let scan_run = mcscan::<u8, i16, i32>(
             spec,
             gm,
             &mask,
-            McScanConfig { s, blocks, kind: ScanKind::Exclusive },
+            McScanConfig {
+                s,
+                blocks,
+                kind: ScanKind::Exclusive,
+            },
         )?;
         let offs = scan_run.y;
         reports.push(scan_run.report);
-        let n_ones = (offs.read_range(len - 1, 1)?[0]
-            + i32::from(mask.read_range(len - 1, 1)?[0])) as usize;
+        let n_ones =
+            (offs.read_range(len - 1, 1)?[0] + i32::from(mask.read_range(len - 1, 1)?[0])) as usize;
 
         reports.push(scatter_by_mask::<K::Encoded>(
-            spec, gm, blocks, &keys_view, Some(&idx_view), &mask, &offs, n_ones, &keys_out,
-            Some(&idx_out), true,
+            spec,
+            gm,
+            blocks,
+            &keys_view,
+            Some(&idx_view),
+            &mask,
+            &offs,
+            n_ones,
+            &keys_out,
+            Some(&idx_out),
+            true,
         )?);
         // Copy the rearranged window back into the primary buffers (the
         // confirmed prefix outside the window must stay intact, so the
@@ -122,13 +137,23 @@ where
     let values = GlobalTensor::<K>::new(gm, k)?;
     let indices = GlobalTensor::<u32>::new(gm, k)?;
     reports.push(decode_prefix::<K>(spec, gm, blocks, &keys_a, &values, k)?);
-    reports.push(copy_window_u32(spec, gm, blocks, &idx_a.slice(0, k)?, &indices)?);
+    reports.push(copy_window_u32(
+        spec,
+        gm,
+        blocks,
+        &idx_a.slice(0, k)?,
+        &indices,
+    )?);
 
     let mut report = KernelReport::sequential("TopK", &reports);
     report.elements = n as u64;
     report.useful_bytes = (n * K::SIZE + k * (K::SIZE + 4)) as u64;
     let _ = (&mut keys_a, &mut idx_a);
-    Ok(TopKRun { values, indices, report })
+    Ok(TopKRun {
+        values,
+        indices,
+        report,
+    })
 }
 
 fn pieces(piece: usize, n: usize) -> Vec<(usize, usize)> {
@@ -154,7 +179,11 @@ where
     K: RadixKey + Element,
     K::Encoded: Element + Bits + Numeric,
 {
-    let piece = crate::ub_piece(spec, K::SIZE + std::mem::size_of::<K::Encoded>() + 4, PIECE_CAP);
+    let piece = crate::ub_piece(
+        spec,
+        K::SIZE + std::mem::size_of::<K::Encoded>() + 4,
+        PIECE_CAP,
+    );
     let spans = pieces(piece, x.len());
     launch(spec, gm, blocks, "TopKEncode", |ctx| {
         let lane0 = ctx.block_idx as usize * ctx.vecs.len();
@@ -171,9 +200,9 @@ where
                 vc.viota(&mut ramp, 0, valid, off as u32)?;
                 vc.copy_out(idx, off, &ramp, 0, valid, &[])?;
             }
-            vc.free_local(raw);
-            vc.free_local(enc);
-            vc.free_local(ramp);
+            vc.free_local(raw)?;
+            vc.free_local(enc)?;
+            vc.free_local(ramp)?;
         }
         Ok(())
     })
@@ -207,8 +236,8 @@ where
                 vc.vcompare_scalar(&mut mk, &buf, 0, valid, CmpMode::Ne, K::Encoded::zero(), 0)?;
                 vc.copy_out(mask, off, &mk, 0, valid, &[])?;
             }
-            vc.free_local(buf);
-            vc.free_local(mk);
+            vc.free_local(buf)?;
+            vc.free_local(mk)?;
         }
         Ok(())
     })
@@ -233,7 +262,7 @@ fn copy_window<E: Element>(
                 vc.copy_in(&mut buf, 0, src, off, valid, &[])?;
                 vc.copy_out(dst, off, &buf, 0, valid, &[])?;
             }
-            vc.free_local(buf);
+            vc.free_local(buf)?;
         }
         Ok(())
     })
@@ -275,8 +304,8 @@ where
                 vc.vradix_decode::<K>(&mut out, &enc, 0, valid)?;
                 vc.copy_out(values, off, &out, 0, valid, &[])?;
             }
-            vc.free_local(enc);
-            vc.free_local(out);
+            vc.free_local(enc)?;
+            vc.free_local(out)?;
         }
         Ok(())
     })

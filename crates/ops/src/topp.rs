@@ -53,10 +53,14 @@ pub fn top_p_sample(
 ) -> SimResult<TopPRun> {
     let n = probs.len();
     if n == 0 {
-        return Err(SimError::InvalidArgument("top_p: empty probabilities".into()));
+        return Err(SimError::InvalidArgument(
+            "top_p: empty probabilities".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(SimError::InvalidArgument(format!("top_p: p {p} outside [0, 1]")));
+        return Err(SimError::InvalidArgument(format!(
+            "top_p: p {p} outside [0, 1]"
+        )));
     }
     if !(0.0..1.0).contains(&theta) {
         return Err(SimError::InvalidArgument(format!(
@@ -72,7 +76,11 @@ pub fn top_p_sample(
         spec,
         gm,
         &sorted.values,
-        McScanConfig { s, blocks, kind: ScanKind::Inclusive },
+        McScanConfig {
+            s,
+            blocks,
+            kind: ScanKind::Inclusive,
+        },
     )?;
     let cdf = scan_run.y;
 
@@ -86,21 +94,14 @@ pub fn top_p_sample(
         ));
     }
     let p_abs = F16::from_f64(p * total);
-    let (n_kept, count_report) =
-        kept_prefix_count(spec, gm, &cdf, &sorted.values, p_abs, blocks)?;
+    let (n_kept, count_report) = kept_prefix_count(spec, gm, &cdf, &sorted.values, p_abs, blocks)?;
     let n_kept = n_kept.max(1);
 
     // 4. Inverse-transform draw over the kept prefix, reusing the CDF.
     let kept_mass = cdf.read_range(n_kept - 1, 1)?[0];
     let threshold = F16::from_f64(theta * kept_mass.to_f64());
-    let (pos, search_report) = cdf_search(
-        spec,
-        gm,
-        &cdf.slice(0, n_kept)?,
-        n_kept,
-        threshold,
-        blocks,
-    )?;
+    let (pos, search_report) =
+        cdf_search(spec, gm, &cdf.slice(0, n_kept)?, n_kept, threshold, blocks)?;
     let token = sorted.indices.read_range(pos, 1)?[0];
 
     let mut report = KernelReport::sequential(
@@ -109,7 +110,11 @@ pub fn top_p_sample(
     );
     report.elements = n as u64;
     report.useful_bytes = (n * F16::SIZE) as u64;
-    Ok(TopPRun { token, n_kept, report })
+    Ok(TopPRun {
+        token,
+        n_kept,
+        report,
+    })
 }
 
 /// Batched nucleus sampling: draws one token per row of a
@@ -117,6 +122,7 @@ pub fn top_p_sample(
 /// "are usually batched with a constant batch size"). Rows execute as
 /// back-to-back device pipelines; the combined report reflects the whole
 /// batch.
+#[allow(clippy::too_many_arguments)]
 pub fn top_p_sample_batch(
     spec: &ChipSpec,
     gm: &Arc<GlobalMemory>,
@@ -206,11 +212,11 @@ fn kept_prefix_count(
             let mut one = vc.alloc_local::<u32>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, kept, kept_ready)?;
             vc.copy_out(&counts, lane, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(cbuf);
-            vc.free_local(pbuf);
-            vc.free_local(mk);
-            vc.free_local(wide);
+            vc.free_local(one)?;
+            vc.free_local(cbuf)?;
+            vc.free_local(pbuf)?;
+            vc.free_local(mk)?;
+            vc.free_local(wide)?;
         }
         Ok(())
     })?;
@@ -245,7 +251,10 @@ mod tests {
         // p = 0.85: nucleus is {3, 7}.
         let run = top_p_sample(&spec, &gm, &t, 0.85, 0.9, 16, 2).unwrap();
         assert_eq!(run.n_kept, 2);
-        assert_eq!(run.token, 7, "theta 0.9 of mass 0.9 falls in token 7's slice");
+        assert_eq!(
+            run.token, 7,
+            "theta 0.9 of mass 0.9 falls in token 7's slice"
+        );
         let run = top_p_sample(&spec, &gm, &t, 0.85, 0.1, 16, 2).unwrap();
         assert_eq!(run.token, 3);
     }
@@ -278,10 +287,15 @@ mod tests {
         // 16 radix-sort scans + 1 cumsum scan = 17 SyncAll rounds from
         // MCScan launches.
         let (spec, gm) = setup();
-        let probs: Vec<F16> = (0..128).map(|i| F16::from_f32((i % 7) as f32 + 1.0)).collect();
+        let probs: Vec<F16> = (0..128)
+            .map(|i| F16::from_f32((i % 7) as f32 + 1.0))
+            .collect();
         let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
         let run = top_p_sample(&spec, &gm, &t, 0.9, 0.5, 16, 1).unwrap();
-        assert_eq!(run.report.sync_rounds, 17, "the paper's 17-scans-per-batch count");
+        assert_eq!(
+            run.report.sync_rounds, 17,
+            "the paper's 17-scans-per-batch count"
+        );
     }
 
     #[test]
@@ -295,8 +309,7 @@ mod tests {
         probs[2 * vocab + 99] = F16::ONE;
         let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
         let (tokens, report) =
-            top_p_sample_batch(&spec, &gm, &t, batch, vocab, 0.5, &[0.3, 0.6, 0.9], 16, 2)
-                .unwrap();
+            top_p_sample_batch(&spec, &gm, &t, batch, vocab, 0.5, &[0.3, 0.6, 0.9], 16, 2).unwrap();
         assert_eq!(tokens, vec![7, 31, 99]);
         // 17 scans per batch element (the paper's accounting).
         assert_eq!(report.sync_rounds, 17 * batch as u64);

@@ -60,7 +60,11 @@ where
         spec,
         gm,
         w,
-        McScanConfig { s, blocks, kind: ScanKind::Inclusive },
+        McScanConfig {
+            s,
+            blocks,
+            kind: ScanKind::Inclusive,
+        },
     )?;
     let cdf = scan_run.y;
     let total = cdf.read_range(n - 1, 1)?[0].to_f64();
@@ -142,10 +146,10 @@ pub(crate) fn cdf_search<W: Numeric>(
             let mut one = vc.alloc_local::<u32>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, best, best_ready)?;
             vc.copy_out(&first_hits, lane, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(buf);
-            vc.free_local(mk);
-            vc.free_local(wide);
+            vc.free_local(one)?;
+            vc.free_local(buf)?;
+            vc.free_local(mk)?;
+            vc.free_local(wide)?;
         }
         Ok(())
     })?;
@@ -203,7 +207,13 @@ mod tests {
     fn f16_weights() {
         let (spec, gm) = setup();
         let w: Vec<F16> = (0..512)
-            .map(|i| if i == 100 { F16::from_f32(8.0) } else { F16::ZERO })
+            .map(|i| {
+                if i == 100 {
+                    F16::from_f32(8.0)
+                } else {
+                    F16::ZERO
+                }
+            })
             .collect();
         let t = GlobalTensor::from_slice(&gm, &w).unwrap();
         let run = weighted_sample::<F16>(&spec, &gm, &t, 0.5, 16, 2).unwrap();
@@ -220,7 +230,11 @@ mod tests {
         let t = GlobalTensor::from_slice(&gm, &w).unwrap();
         let run = weighted_sample::<f32>(&spec, &gm, &t, 0.5, 16, 2).unwrap();
         // Uniform weights: theta = 0.5 lands near the middle.
-        assert!((run.index as i64 - 35000).abs() < 100, "index {}", run.index);
+        assert!(
+            (run.index as i64 - 35000).abs() < 100,
+            "index {}",
+            run.index
+        );
     }
 
     #[test]

@@ -144,10 +144,14 @@ where
     } else {
         vc.reduce_sum(&r_ub, 0, chunk)?
     };
-    vc.free_local(r_ub);
+    vc.free_local(r_ub)?;
 
     let ub = vc.spec().ub_capacity;
-    let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub { 2 } else { 1 };
+    let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub {
+        2
+    } else {
+        1
+    };
     let mut q = TQue::<M>::new(vc, ScratchpadKind::Ub, depth, l)?;
     let mut buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
     for &(off, valid) in tiles {
@@ -163,7 +167,7 @@ where
         }
         vc.copy_out(y, off, &buf, 0, valid, &[])?;
     }
-    vc.free_local(buf);
+    vc.free_local(buf)?;
     q.destroy(vc)?;
     Ok(())
 }
@@ -185,8 +189,16 @@ where
 {
     let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
     cube.copy_in(&mut lb, 0, &consts.upper, 0, l, &[])?;
-    let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity { 2 } else { 1 };
-    let dc = if 2 * l * <T::Acc as Element>::SIZE <= cube.spec().l0c_capacity { 2 } else { 1 };
+    let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity {
+        2
+    } else {
+        1
+    };
+    let dc = if 2 * l * <T::Acc as Element>::SIZE <= cube.spec().l0c_capacity {
+        2
+    } else {
+        1
+    };
     let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
     let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
     let mut evs = Vec::with_capacity(tiles.len());
@@ -206,7 +218,7 @@ where
     }
     qa.destroy(cube)?;
     qc.destroy(cube)?;
-    cube.free_local(lb);
+    cube.free_local(lb)?;
     Ok(evs)
 }
 
@@ -276,7 +288,7 @@ where
                     vc.copy_in(&mut one, 0, &w, off + valid - 1, 1, &[dep])?;
                     let (last, lr) = vc.extract(&one, 0)?;
                     vc.insert(&mut totals, rows - 1, last, lr)?;
-                    vc.free_local(one);
+                    vc.free_local(one)?;
                 }
                 let cast_done = vc.vcast::<M, O>(&mut totals_o, &totals, 0, rows)?;
                 let (sum, ready) = vc.reduce_sum(&totals_o, 0, rows)?;
@@ -286,9 +298,9 @@ where
             let mut one = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, total, total_ready)?;
             vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(totals);
-            vc.free_local(totals_o);
+            vc.free_local(one)?;
+            vc.free_local(totals)?;
+            vc.free_local(totals_o)?;
         }
         ctx.sync_all();
         // Phase 2: identical propagation.
@@ -341,15 +353,8 @@ where
         let first = block * vec_per_core;
         let (t0, _) = chunk_tiles[first];
         let (tl, tc) = chunk_tiles[first + vec_per_core - 1];
-        let evs = cube_tile_scans::<T, M>(
-            &mut ctx.cube,
-            &consts,
-            x,
-            &w,
-            &tiles[t0..tl + tc],
-            s,
-            l,
-        )?;
+        let evs =
+            cube_tile_scans::<T, M>(&mut ctx.cube, &consts, x, &w, &tiles[t0..tl + tc], s, l)?;
         // Phase 1b: full chunk-local scan (rows propagated from zero),
         // written to y; chunk total goes to r.
         for v in 0..vec_per_core {
@@ -357,7 +362,11 @@ where
             let (c0, ccount) = chunk_tiles[chunk];
             let vc = &mut ctx.vecs[v];
             let ub = vc.spec().ub_capacity;
-            let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub { 2 } else { 1 };
+            let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub {
+                2
+            } else {
+                1
+            };
             let mut q = TQue::<M>::new(vc, ScratchpadKind::Ub, depth, l)?;
             let mut buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             let mut partial = O::zero();
@@ -378,8 +387,8 @@ where
             let mut one = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, partial, partial_ready)?;
             vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(buf);
+            vc.free_local(one)?;
+            vc.free_local(buf)?;
             q.destroy(vc)?;
         }
         ctx.sync_all();
@@ -395,8 +404,12 @@ where
             let mut r_ub = vc.alloc_local::<O>(ScratchpadKind::Ub, chunks_total)?;
             vc.copy_in(&mut r_ub, 0, &r, 0, chunks_total, &[])?;
             let (offset, offset_ready) = vc.reduce_sum(&r_ub, 0, chunk)?;
-            vc.free_local(r_ub);
-            let depth = if 3 * l * O::SIZE + 64 <= vc.spec().ub_capacity { 2 } else { 1 };
+            vc.free_local(r_ub)?;
+            let depth = if 3 * l * O::SIZE + 64 <= vc.spec().ub_capacity {
+                2
+            } else {
+                1
+            };
             let mut q = TQue::<O>::new(vc, ScratchpadKind::Ub, depth, l)?;
             for &(off, valid) in &tiles[c0..c0 + ccount] {
                 let mut buf = q.alloc_tensor()?;
@@ -444,7 +457,11 @@ where
             let chunk = block * vec_per_core + v;
             let (t0, tcount) = chunk_tiles[chunk];
             let vc = &mut ctx.vecs[v];
-            let din = if 2 * l * T::SIZE + l * O::SIZE + 64 <= vc.spec().ub_capacity { 2 } else { 1 };
+            let din = if 2 * l * T::SIZE + l * O::SIZE + 64 <= vc.spec().ub_capacity {
+                2
+            } else {
+                1
+            };
             let mut qin = TQue::<T>::new(vc, ScratchpadKind::Ub, din, l)?;
             let mut acc = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             let mut total = O::zero();
@@ -461,8 +478,8 @@ where
             let mut one = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, total, total_ready)?;
             vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(acc);
+            vc.free_local(one)?;
+            vc.free_local(acc)?;
             qin.destroy(vc)?;
         }
         ctx.sync_all();
@@ -472,15 +489,8 @@ where
         let first = block * vec_per_core;
         let (t0, _) = chunk_tiles[first];
         let (tl, tc) = chunk_tiles[first + vec_per_core - 1];
-        let evs = cube_tile_scans::<T, M>(
-            &mut ctx.cube,
-            &consts,
-            x,
-            &w,
-            &tiles[t0..tl + tc],
-            s,
-            l,
-        )?;
+        let evs =
+            cube_tile_scans::<T, M>(&mut ctx.cube, &consts, x, &w, &tiles[t0..tl + tc], s, l)?;
         for v in 0..vec_per_core {
             let chunk = first + v;
             let (c0, ccount) = chunk_tiles[chunk];
@@ -492,9 +502,13 @@ where
             } else {
                 vc.reduce_sum(&r_ub, 0, chunk)?
             };
-            vc.free_local(r_ub);
+            vc.free_local(r_ub)?;
             let ub = vc.spec().ub_capacity;
-            let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub { 2 } else { 1 };
+            let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub {
+                2
+            } else {
+                1
+            };
             let mut q = TQue::<M>::new(vc, ScratchpadKind::Ub, depth, l)?;
             let mut buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             for (ti, &(off, valid)) in tiles[c0..c0 + ccount].iter().enumerate() {
@@ -510,7 +524,7 @@ where
                 }
                 vc.copy_out(&y, off, &buf, 0, valid, &[])?;
             }
-            vc.free_local(buf);
+            vc.free_local(buf)?;
             q.destroy(vc)?;
         }
         Ok(())
@@ -531,7 +545,11 @@ mod tests {
     }
 
     fn cfg(blocks: u32) -> McScanConfig {
-        McScanConfig { s: 16, blocks, kind: ScanKind::Inclusive }
+        McScanConfig {
+            s: 16,
+            blocks,
+            kind: ScanKind::Inclusive,
+        }
     }
 
     #[test]
@@ -562,7 +580,11 @@ mod tests {
     fn exclusive_rejected_for_ablation_variants() {
         let (spec, gm) = setup();
         let x = GlobalTensor::from_slice(&gm, &[1i8; 64]).unwrap();
-        let bad = McScanConfig { s: 16, blocks: 1, kind: ScanKind::Exclusive };
+        let bad = McScanConfig {
+            s: 16,
+            blocks: 1,
+            kind: ScanKind::Exclusive,
+        };
         assert!(mcscan_variant::<i8, i32, i32>(&spec, &gm, &x, bad, McScanVariant::Rss).is_err());
     }
 
@@ -595,7 +617,11 @@ mod tests {
         // vector work instead of serializing them.
         let spec = ChipSpec::ascend_910b4();
         let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
-        let big = McScanConfig { s: 128, blocks: spec.ai_cores, kind: ScanKind::Inclusive };
+        let big = McScanConfig {
+            s: 128,
+            blocks: spec.ai_cores,
+            kind: ScanKind::Inclusive,
+        };
 
         // Roofline regime: within 5% of the best variant, and strictly
         // ahead of SSA(full).
@@ -608,13 +634,19 @@ mod tests {
         }
         let rec = times[0].1;
         let best = times.iter().map(|&(_, t)| t).fold(f64::MAX, f64::min);
-        assert!(rec <= best * 1.05, "recompute {rec:.1} us vs best {best:.1} us");
+        assert!(
+            rec <= best * 1.05,
+            "recompute {rec:.1} us vs best {best:.1} us"
+        );
         let ssa = times
             .iter()
             .find(|(v, _)| *v == McScanVariant::SsaFull)
             .unwrap()
             .1;
-        assert!(rec < ssa, "recompute {rec:.1} us must beat SSA(full) {ssa:.1} us");
+        assert!(
+            rec < ssa,
+            "recompute {rec:.1} us must beat SSA(full) {ssa:.1} us"
+        );
 
         // Latency-sensitive regime: recompute's overlapped phase 1 wins
         // against the serialized strategies.

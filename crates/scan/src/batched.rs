@@ -103,11 +103,10 @@ where
                         }
                         cube.copy_in(&mut la, 0, x, base + off, valid, &[])?;
                         let mut lc = qc.alloc_tensor()?;
-                        let mm =
-                            cube.mmad::<T>(&mut lc, &mut la, &mut lb, rows, s, s, false)?;
+                        let mm = cube.mmad::<T>(&mut lc, &mut la, &mut lb, rows, s, s, false)?;
                         qa.free_tensor(la, mm);
-                        let ev = cube
-                            .copy_out_cast::<T::Acc, O>(&y, base + off, &lc, 0, valid, &[])?;
+                        let ev =
+                            cube.copy_out_cast::<T::Acc, O>(&y, base + off, &lc, 0, valid, &[])?;
                         qc.free_tensor(lc, ev);
                         done[pi][lane].push(ev);
                     }
@@ -212,8 +211,7 @@ where
                     let mm3 = cube.mmad::<T>(&mut c2, &mut la2, &mut lb, s, s, s, true)?;
                     qa.free_tensor(la2, mm3);
 
-                    let ev =
-                        cube.copy_out_cast::<T::Acc, O>(&y, base + off, &c2, 0, valid, &[])?;
+                    let ev = cube.copy_out_cast::<T::Acc, O>(&y, base + off, &c2, 0, valid, &[])?;
                     done[ri].push(ev);
                 }
             }

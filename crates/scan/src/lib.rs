@@ -59,12 +59,7 @@ pub struct ScanRun<O: Element> {
 /// Fills in the report fields that follow the paper's reporting
 /// convention for a length-`n` scan with input element size `in_size`
 /// and output element size `out_size`.
-pub(crate) fn finish_report(
-    report: &mut KernelReport,
-    n: usize,
-    in_size: usize,
-    out_size: usize,
-) {
+pub(crate) fn finish_report(report: &mut KernelReport, n: usize, in_size: usize, out_size: usize) {
     report.elements = n as u64;
     report.useful_bytes = (n * (in_size + out_size)) as u64;
 }

@@ -130,8 +130,16 @@ where
             cube.copy_in(&mut lb, 0, &consts.upper, 0, l, &[])?;
             // Double-buffer L0A/L0C when the element width allows two
             // tiles (fp16/int8); fall back to single buffering for f32.
-            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity { 2 } else { 1 };
-            let dc = if 2 * l * <T::Acc as dtypes::Element>::SIZE <= cube.spec().l0c_capacity { 2 } else { 1 };
+            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity {
+                2
+            } else {
+                1
+            };
+            let dc = if 2 * l * <T::Acc as dtypes::Element>::SIZE <= cube.spec().l0c_capacity {
+                2
+            } else {
+                1
+            };
             let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
             let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
             for v in 0..vec_per_core {
@@ -156,7 +164,11 @@ where
             let chunk = block * vec_per_core + v;
             let (t0, tcount) = chunk_tiles[chunk];
             let vc = &mut ctx.vecs[v];
-            let din = if 2 * l * T::SIZE + l * O::SIZE + 64 <= vc.spec().ub_capacity { 2 } else { 1 };
+            let din = if 2 * l * T::SIZE + l * O::SIZE + 64 <= vc.spec().ub_capacity {
+                2
+            } else {
+                1
+            };
             let mut qin = TQue::<T>::new(vc, ScratchpadKind::Ub, din, l)?;
             let mut acc_buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             let mut total = O::zero();
@@ -176,8 +188,8 @@ where
             let mut one = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, total, total_ready)?;
             vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(acc_buf);
+            vc.free_local(one)?;
+            vc.free_local(acc_buf)?;
             qin.destroy(vc)?;
         }
 
@@ -197,14 +209,18 @@ where
             } else {
                 vc.reduce_sum(&r_ub, 0, chunk)?
             };
-            vc.free_local(r_ub);
+            vc.free_local(r_ub)?;
 
             // Double-buffer the staging queue when UB has room for two
             // intermediate tiles next to the propagation buffer; fall
             // back to single buffering for wide intermediates (the
             // propagation is bandwidth-bound either way).
             let ub = vc.spec().ub_capacity;
-            let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub { 2 } else { 1 };
+            let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub {
+                2
+            } else {
+                1
+            };
             let mut q = TQue::<M>::new(vc, ScratchpadKind::Ub, depth, l)?;
             let mut buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             let mut boundary = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
@@ -243,8 +259,8 @@ where
                     }
                 }
             }
-            vc.free_local(boundary);
-            vc.free_local(buf);
+            vc.free_local(boundary)?;
+            vc.free_local(buf)?;
             q.destroy(vc)?;
         }
         Ok(())
@@ -276,7 +292,10 @@ mod tests {
         let data: Vec<i8> = (0..3000).map(|i| ((i * 7) % 9) as i8 - 4).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = mcscan::<i8, i32, i32>(&spec, &gm, &x, cfg(16, 2, ScanKind::Inclusive)).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
         assert_eq!(run.report.sync_rounds, 1);
     }
 
@@ -286,7 +305,10 @@ mod tests {
         let data: Vec<u8> = (0..2777).map(|i| ((i * 13) % 5 == 0) as u8).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = mcscan::<u8, i16, i32>(&spec, &gm, &x, cfg(16, 2, ScanKind::Exclusive)).unwrap();
-        assert_eq!(run.y.to_vec(), reference::exclusive_widening::<u8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::exclusive_widening::<u8, i32>(&data)
+        );
     }
 
     #[test]
@@ -295,7 +317,10 @@ mod tests {
         let data: Vec<i8> = (0..500).map(|i| (i % 3) as i8).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = mcscan::<i8, i32, i32>(&spec, &gm, &x, cfg(16, 1, ScanKind::Inclusive)).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
     }
 
     #[test]
@@ -348,7 +373,12 @@ mod tests {
         let r = &run.report;
         let read_elems_lo = (2 * n + 4 * n) as u64; // x twice (1B) + y once (4B)
         let written_lo = (2 * 4 * n) as u64; // y twice (4B)
-        assert!(r.bytes_read >= read_elems_lo, "{} < {}", r.bytes_read, read_elems_lo);
+        assert!(
+            r.bytes_read >= read_elems_lo,
+            "{} < {}",
+            r.bytes_read,
+            read_elems_lo
+        );
         assert!(r.bytes_read < read_elems_lo + 4096);
         assert!(r.bytes_written >= written_lo);
         assert!(r.bytes_written < written_lo + 4096);
@@ -368,6 +398,9 @@ mod tests {
             speedup > 5.0,
             "MCScan should be much faster than single-core ScanU, got {speedup:.1}x"
         );
-        assert_eq!(mc.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            mc.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
     }
 }

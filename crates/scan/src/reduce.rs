@@ -82,8 +82,16 @@ where
             let cube = &mut ctx.cube;
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
             cube.copy_in(&mut lb, 0, &consts.ones, 0, l, &[])?;
-            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity { 2 } else { 1 };
-            let dc = if 2 * l * <T::Acc as Element>::SIZE <= cube.spec().l0c_capacity { 2 } else { 1 };
+            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity {
+                2
+            } else {
+                1
+            };
+            let dc = if 2 * l * <T::Acc as Element>::SIZE <= cube.spec().l0c_capacity {
+                2
+            } else {
+                1
+            };
             let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
             let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
             for v in 0..vec_per_core {
@@ -107,6 +115,9 @@ where
             }
         }
         // Vector cores: accumulate each chunk's row-sum columns.
+        // (Index loop: `v` addresses ctx.vecs, evs_per_chunk, and the
+        // chunk id at once.)
+        #[allow(clippy::needless_range_loop)]
         for v in 0..vec_per_core {
             let chunk = block * vec_per_core + v;
             let (t0, tcount) = chunk_tiles[chunk];
@@ -116,7 +127,14 @@ where
             let mut total_ready = 0;
             for (ti, &(_, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
                 let rows = valid.div_ceil(s);
-                vc.copy_in(&mut buf, 0, &cols, (t0 + ti) * s, rows, &[evs_per_chunk[v][ti]])?;
+                vc.copy_in(
+                    &mut buf,
+                    0,
+                    &cols,
+                    (t0 + ti) * s,
+                    rows,
+                    &[evs_per_chunk[v][ti]],
+                )?;
                 let (sum, ready) = vc.reduce_sum(&buf, 0, rows)?;
                 total = total.add(sum);
                 total_ready = vc.scalar_ops(1, &[ready, total_ready])?;
@@ -124,8 +142,8 @@ where
             let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, total, total_ready)?;
             vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(buf);
+            vc.free_local(one)?;
+            vc.free_local(buf)?;
         }
         ctx.sync_all();
         // Final: block 0's first vector core folds the chunk partials.
@@ -137,8 +155,8 @@ where
             let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, grand, ready)?;
             vc.copy_out(&r, 0, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(r_ub);
+            vc.free_local(one)?;
+            vc.free_local(r_ub)?;
         }
         Ok(())
     })?;
@@ -200,8 +218,8 @@ where
             let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, total, total_ready)?;
             vc.copy_out(&r, chunk, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(acc);
+            vc.free_local(one)?;
+            vc.free_local(acc)?;
             qin.destroy(vc)?;
         }
         ctx.sync_all();
@@ -213,8 +231,8 @@ where
             let mut one = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, 1)?;
             vc.insert(&mut one, 0, grand, ready)?;
             vc.copy_out(&r, 0, &one, 0, 1, &[])?;
-            vc.free_local(one);
-            vc.free_local(r_ub);
+            vc.free_local(one)?;
+            vc.free_local(r_ub)?;
         }
         Ok(())
     })?;

@@ -52,8 +52,16 @@ where
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, s * s)?;
             cube.copy_in(&mut lb, 0, &consts.upper, 0, s * s, &[])?;
 
-            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity { 2 } else { 1 };
-            let dc = if 2 * l * <T::Acc as dtypes::Element>::SIZE <= cube.spec().l0c_capacity { 2 } else { 1 };
+            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity {
+                2
+            } else {
+                1
+            };
+            let dc = if 2 * l * <T::Acc as dtypes::Element>::SIZE <= cube.spec().l0c_capacity {
+                2
+            } else {
+                1
+            };
             let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
             let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
             for &(off, valid) in &spans {
@@ -117,7 +125,10 @@ mod tests {
         let data: Vec<i8> = (0..512).map(|i| (i % 5) as i8 - 2).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = scanu::<i8, i32>(&spec, &gm, &x, 16).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
         assert_eq!(run.report.elements, 512);
     }
 
@@ -128,7 +139,10 @@ mod tests {
         let data: Vec<i8> = (0..600).map(|i| ((i * 7) % 11) as i8 - 5).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = scanu::<i8, i32>(&spec, &gm, &x, 16).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
     }
 
     #[test]
@@ -137,7 +151,10 @@ mod tests {
         let data: Vec<i8> = (0..260).map(|i| (i % 3) as i8).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = scanu::<i8, i32>(&spec, &gm, &x, 16).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
     }
 
     #[test]
@@ -156,7 +173,10 @@ mod tests {
         let data: Vec<u8> = (0..1000).map(|i| ((i * 13) % 3 == 0) as u8).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = scanu::<u8, i32>(&spec, &gm, &x, 16).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<u8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<u8, i32>(&data)
+        );
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
         let data: Vec<i8> = (0..512).map(|i| (i % 5) as i8 - 2).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = scanul1::<i8, i32>(&spec, &gm, &x, 16).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
     }
 
     #[test]
@@ -157,7 +160,10 @@ mod tests {
         let data: Vec<i8> = (0..777).map(|i| ((i * 3) % 4) as i8 - 1).collect();
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let run = scanul1::<i8, i32>(&spec, &gm, &x, 16).unwrap();
-        assert_eq!(run.y.to_vec(), reference::inclusive_widening::<i8, i32>(&data));
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! operator wrapper; kernels here likewise upload them once per launch
 //! and stage them in L1.
 
-use ascendc::{GlobalTensor, SimResult};
 use ascend_sim::mem::GlobalMemory;
+use ascendc::{GlobalTensor, SimResult};
 use dtypes::Numeric;
 use std::sync::Arc;
 

@@ -31,13 +31,28 @@ fn fig3_single_core_ratios() {
     let r_between = u.time_s() / ul1.time_s();
     println!("Fig 3 @ N = {n}:");
     println!("  vec-only  : {:>10.1} us", base.time_us());
-    println!("  ScanU     : {:>10.1} us  ({r_u:.2}x vs vec-only; paper ~5x)", u.time_us());
-    println!("  ScanUL1   : {:>10.1} us  ({r_ul1:.2}x vs vec-only; paper ~9.6x)", ul1.time_us());
+    println!(
+        "  ScanU     : {:>10.1} us  ({r_u:.2}x vs vec-only; paper ~5x)",
+        u.time_us()
+    );
+    println!(
+        "  ScanUL1   : {:>10.1} us  ({r_ul1:.2}x vs vec-only; paper ~9.6x)",
+        ul1.time_us()
+    );
     println!("  ScanU/ScanUL1 = {r_between:.2}x (paper ~2x)");
 
-    assert!((3.5..7.0).contains(&r_u), "ScanU speedup {r_u:.2} not in paper band ~5x");
-    assert!((7.0..14.0).contains(&r_ul1), "ScanUL1 speedup {r_ul1:.2} not in paper band ~9.6x");
-    assert!((1.5..3.0).contains(&r_between), "ScanUL1/ScanU {r_between:.2} not ~2x");
+    assert!(
+        (3.5..7.0).contains(&r_u),
+        "ScanU speedup {r_u:.2} not in paper band ~5x"
+    );
+    assert!(
+        (7.0..14.0).contains(&r_ul1),
+        "ScanUL1 speedup {r_ul1:.2} not in paper band ~9.6x"
+    );
+    assert!(
+        (1.5..3.0).contains(&r_between),
+        "ScanUL1/ScanU {r_between:.2} not ~2x"
+    );
 }
 
 #[test]
@@ -55,7 +70,11 @@ fn mcscan_saturation_and_speedup() {
     let frac = mc.fraction_of_peak(&spec);
     let speedup = u.time_s() / mc.time_s();
     println!("MCScan @ N = {n}:");
-    println!("  bandwidth  : {:.0} GB/s = {:.1}% of peak (paper ~37.5%)", mc.gbps(), frac * 100.0);
+    println!(
+        "  bandwidth  : {:.0} GB/s = {:.1}% of peak (paper ~37.5%)",
+        mc.gbps(),
+        frac * 100.0
+    );
     println!("  vs ScanU   : {speedup:.1}x (paper saturates at ~15.2x)");
 
     assert!(
@@ -80,7 +99,9 @@ fn int8_beats_fp16_in_elements_per_second() {
 
     let cfg = McScanConfig::for_chip(&spec);
     let gi = mcscan::<u8, i16, i32>(&spec, &gm, &xi, cfg).unwrap().report;
-    let gf = mcscan::<F16, F16, F16>(&spec, &gm, &xf, cfg).unwrap().report;
+    let gf = mcscan::<F16, F16, F16>(&spec, &gm, &xf, cfg)
+        .unwrap()
+        .report;
     let gain = gi.gelems() / gf.gelems();
     println!(
         "Fig 9 @ N = {n}: int8 {:.2} GElem/s vs fp16 {:.2} GElem/s  (gain {:.2}x; paper ~1.1x)",
@@ -89,5 +110,8 @@ fn int8_beats_fp16_in_elements_per_second() {
         gain
     );
     assert!(gain > 1.0, "int8 path should process more elements/s");
-    assert!(gain < 2.0, "int8 gain should be modest (~10%), got {gain:.2}");
+    assert!(
+        gain < 2.0,
+        "int8 gain should be modest (~10%), got {gain:.2}"
+    );
 }

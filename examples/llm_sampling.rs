@@ -63,10 +63,7 @@ fn main() {
     );
 }
 
-fn bench_baseline(
-    dev: &Device,
-    probs: &[F16],
-) -> (u32, ascend_scan::KernelReport) {
+fn bench_baseline(dev: &Device, probs: &[F16]) -> (u32, ascend_scan::KernelReport) {
     let gm = dev.memory();
     let x = ascend_scan::GlobalTensor::from_slice(gm, probs).expect("upload");
     let spec = dev.spec();
@@ -76,9 +73,6 @@ fn bench_baseline(
     let _ = cdf;
     let (pos, r_mult) = ascend_scan::ops::baselines::multinomial(spec, gm, &vals, 0.5).unwrap();
     let token = idx.read_range(pos, 1).unwrap()[0];
-    let report = ascend_scan::KernelReport::sequential(
-        "torch top-p",
-        &[r_sort, r_cumsum, r_mult],
-    );
+    let report = ascend_scan::KernelReport::sequential("torch top-p", &[r_sort, r_cumsum, r_mult]);
     (token, report)
 }

@@ -34,10 +34,12 @@ fn main() {
         it_tokens.push(run.index);
         it_reports.push(run.report);
     }
-    let per_draw_us =
-        it_reports.iter().map(|r| r.time_us()).sum::<f64>() / it_reports.len() as f64;
+    let per_draw_us = it_reports.iter().map(|r| r.time_us()).sum::<f64>() / it_reports.len() as f64;
     println!("inverse transform: {per_draw_us:.1} us per draw (scan of 1M weights each time)");
-    println!("  -> {k} draws would cost ~{:.2} ms", per_draw_us * k as f64 / 1e3);
+    println!(
+        "  -> {k} draws would cost ~{:.2} ms",
+        per_draw_us * k as f64 / 1e3
+    );
     println!("  first draws: {:?}", &it_tokens[..4]);
 
     // --- Strategy 2: alias table (the future-work route). -------------
@@ -46,10 +48,7 @@ fn main() {
         "\nalias table built in {:.1} us (scan + split on device, Vose pairing on the scalar unit)",
         table.report.time_us()
     );
-    let pairs: Vec<(f64, f64)> = thetas
-        .iter()
-        .map(|&t| (t, (t * 7.0) % 1.0))
-        .collect();
+    let pairs: Vec<(f64, f64)> = thetas.iter().map(|&t| (t, (t * 7.0) % 1.0)).collect();
     let (tokens, sample_report) = dev.alias_sample(&table, &pairs).expect("alias draws");
     println!(
         "{k} draws in {:.1} us total ({:.2} us per draw)",
@@ -69,8 +68,6 @@ fn main() {
         .iter()
         .filter(|&&t| t == 100 || t == 7777 || t == 999_999)
         .count();
-    println!(
-        "\n{heavy_hits}/{k} draws hit the three heavy items (they hold ~86% of the mass)"
-    );
+    println!("\n{heavy_hits}/{k} draws hit the three heavy items (they hold ~86% of the mass)");
     assert!(heavy_hits > k / 2, "heavy items must dominate");
 }

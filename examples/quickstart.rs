@@ -39,7 +39,12 @@ fn main() {
         run.report.blocks,
         run.report.sync_rounds
     );
-    for e in [EngineKind::Cube, EngineKind::Vec, EngineKind::Mte2, EngineKind::Mte3] {
+    for e in [
+        EngineKind::Cube,
+        EngineKind::Vec,
+        EngineKind::Mte2,
+        EngineKind::Mte3,
+    ] {
         println!(
             "  {:<5} utilization {:>5.1}%",
             e.name(),
@@ -63,7 +68,11 @@ fn main() {
         dev.spec(),
         dev.memory(),
         &m,
-        McScanConfig { s: 64, blocks: 8, kind: ScanKind::Exclusive },
+        McScanConfig {
+            s: 64,
+            blocks: 8,
+            kind: ScanKind::Exclusive,
+        },
     )
     .expect("custom mcscan");
     println!(

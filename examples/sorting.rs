@@ -6,7 +6,7 @@
 //! cargo run --release --example sorting
 //! ```
 
-use ascend_scan::dtypes::{F16, RadixKey};
+use ascend_scan::dtypes::{RadixKey, F16};
 use ascend_scan::ops::SortOrder;
 use ascend_scan::Device;
 
@@ -19,9 +19,15 @@ fn main() {
     let mut state = 0x9E37_79B9u64;
     let values: Vec<F16> = (0..n)
         .map(|i| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((state >> 33) as f32 / (1u64 << 31) as f32 - 0.5) * 2000.0;
-            if i == 0 { F16::NEG_ZERO } else { F16::from_f32(v) }
+            if i == 0 {
+                F16::NEG_ZERO
+            } else {
+                F16::from_f32(v)
+            }
         })
         .collect();
     let x = dev.tensor(&values).expect("upload");
@@ -58,13 +64,9 @@ fn main() {
     println!("bit-exact against the host reference (IEEE total order, -0.0 < +0.0)\n");
 
     // The torch.sort baseline.
-    let (bv, _, base) = ascend_scan::ops::baselines::sort::<F16>(
-        dev.spec(),
-        dev.memory(),
-        &x,
-        false,
-    )
-    .expect("baseline sort");
+    let (bv, _, base) =
+        ascend_scan::ops::baselines::sort::<F16>(dev.spec(), dev.memory(), &x, false)
+            .expect("baseline sort");
     assert_eq!(bv.to_vec().len(), n);
     println!(
         "torch.sort:  {:>8.2} ms   -> radix sort is {:.2}x faster at N = {n}",

@@ -62,13 +62,8 @@ fn main() {
     );
 
     // --- The scalar torch.masked_select baseline. ---------------------
-    let (out, base) = ascend_scan::ops::baselines::masked_select(
-        dev.spec(),
-        dev.memory(),
-        &x,
-        &m,
-    )
-    .expect("baseline");
+    let (out, base) = ascend_scan::ops::baselines::masked_select(dev.spec(), dev.memory(), &x, &m)
+        .expect("baseline");
     assert_eq!(out.len(), kept_expect);
     println!(
         "torch.masked_select {:>8.2} ms  {:>6.1} GB/s",

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: everything a PR must pass. Run locally before pushing.
+#
+# The build is fully offline — third-party deps are vendored under
+# crates/*-compat as [workspace.dependencies] path entries — so this
+# script needs no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI green."

@@ -14,14 +14,19 @@ fn report_fingerprint(r: &KernelReport) -> (u64, u64, u64, [u64; 7]) {
 fn mcscan_timing_is_reproducible() {
     let run = || {
         let dev = Device::ascend_910b4();
-        let xs: Vec<F16> = (0..300_000).map(|i| F16::from_f32((i % 2) as f32)).collect();
+        let xs: Vec<F16> = (0..300_000)
+            .map(|i| F16::from_f32((i % 2) as f32))
+            .collect();
         let x = dev.tensor(&xs).unwrap();
         let r = dev.cumsum(&x).unwrap();
         (report_fingerprint(&r.report), r.y.to_vec())
     };
     let (fp1, y1) = run();
     let (fp2, y2) = run();
-    assert_eq!(fp1, fp2, "simulated cycles/traffic must not vary across runs");
+    assert_eq!(
+        fp1, fp2,
+        "simulated cycles/traffic must not vary across runs"
+    );
     assert_eq!(y1, y2, "functional output must be deterministic");
 }
 
@@ -34,7 +39,11 @@ fn multi_kernel_operator_is_reproducible() {
             .collect();
         let x = dev.tensor(&vals).unwrap();
         let r = dev.sort(&x, SortOrder::Ascending).unwrap();
-        (report_fingerprint(&r.report), r.values.to_vec(), r.indices.to_vec())
+        (
+            report_fingerprint(&r.report),
+            r.values.to_vec(),
+            r.indices.to_vec(),
+        )
     };
     let a = run();
     let b = run();
@@ -47,7 +56,9 @@ fn multi_kernel_operator_is_reproducible() {
 fn timing_is_independent_of_memory_history() {
     // The same kernel on a device that previously ran other work must
     // report the same simulated time (per-launch segment accounting).
-    let xs: Vec<F16> = (0..200_000).map(|i| F16::from_f32((i % 3) as f32)).collect();
+    let xs: Vec<F16> = (0..200_000)
+        .map(|i| F16::from_f32((i % 3) as f32))
+        .collect();
 
     let dev_fresh = Device::ascend_910b4();
     let x = dev_fresh.tensor(&xs).unwrap();
@@ -62,7 +73,10 @@ fn timing_is_independent_of_memory_history() {
     let x2 = dev_used.tensor(&xs).unwrap();
     let used = dev_used.cumsum(&x2).unwrap().report;
 
-    assert_eq!(fresh.cycles, used.cycles, "prior launches must not leak into timing");
+    assert_eq!(
+        fresh.cycles, used.cycles,
+        "prior launches must not leak into timing"
+    );
     assert_eq!(fresh.bytes_read, used.bytes_read);
 }
 
@@ -79,7 +93,11 @@ fn block_count_changes_timing_but_not_results() {
             dev.spec(),
             dev.memory(),
             &m,
-            McScanConfig { s: 128, blocks, kind: ScanKind::Inclusive },
+            McScanConfig {
+                s: 128,
+                blocks,
+                kind: ScanKind::Inclusive,
+            },
         )
         .unwrap();
         outs.push(r.y.to_vec());

@@ -55,13 +55,20 @@ fn larger_s_is_faster_for_mcscan() {
             dev.spec(),
             dev.memory(),
             &x,
-            McScanConfig { s, blocks: 20, kind: ScanKind::Inclusive },
+            McScanConfig {
+                s,
+                blocks: 20,
+                kind: ScanKind::Inclusive,
+            },
         )
         .unwrap()
         .report;
         times.push(r.time_s());
     }
-    assert!(times[0] > times[1] && times[1] > times[2], "times: {times:?}");
+    assert!(
+        times[0] > times[1] && times[1] > times[2],
+        "times: {times:?}"
+    );
 }
 
 #[test]
@@ -71,8 +78,14 @@ fn single_core_scan_is_compute_bound_not_bandwidth_bound() {
     let dev = Device::ascend_910b4();
     let n = 2 << 20;
     let x = dev.tensor(&vec![F16::ONE; n]).unwrap();
-    let r = scanu::<F16, F16>(dev.spec(), dev.memory(), &x, 128).unwrap().report;
-    assert!(r.traffic_gbps() < 200.0, "one core at {:.0} GB/s?", r.traffic_gbps());
+    let r = scanu::<F16, F16>(dev.spec(), dev.memory(), &x, 128)
+        .unwrap()
+        .report;
+    assert!(
+        r.traffic_gbps() < 200.0,
+        "one core at {:.0} GB/s?",
+        r.traffic_gbps()
+    );
 }
 
 #[test]
@@ -85,11 +98,18 @@ fn scratchpad_budgets_are_enforced_at_128() {
         dev.spec(),
         dev.memory(),
         &x,
-        McScanConfig { s: 256, blocks: 4, kind: ScanKind::Inclusive },
+        McScanConfig {
+            s: 256,
+            blocks: 4,
+            kind: ScanKind::Inclusive,
+        },
     )
     .err()
     .expect("s = 256 must overflow L0");
-    assert!(matches!(err, ascend_scan::SimError::ScratchpadOverflow { .. }));
+    assert!(matches!(
+        err,
+        ascend_scan::SimError::ScratchpadOverflow { .. }
+    ));
 }
 
 #[test]
@@ -99,7 +119,163 @@ fn global_memory_capacity_is_enforced() {
     let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
     let big = GlobalTensor::<F16>::new(&gm, 1 << 21);
     let err = big.err().expect("allocation beyond HBM capacity must fail");
-    assert!(matches!(err, ascend_scan::SimError::GlobalMemoryExhausted { .. }));
+    assert!(matches!(
+        err,
+        ascend_scan::SimError::GlobalMemoryExhausted { .. }
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Simcheck failure injection: every sanitizer class must surface at
+// `launch()` level with its dedicated `SimError` variant, without any
+// per-kernel opt-in (the chip presets default to `ValidationMode::Full`).
+// ---------------------------------------------------------------------
+
+use ascend_scan::ascendc::{launch, BlockCtx, ScratchpadKind, TQue};
+use ascend_scan::sim::simcheck;
+use ascend_scan::sim::EngineKind;
+use ascend_scan::{SimError, SimResult};
+
+fn inject(kernel: impl Fn(&mut BlockCtx<'_>) -> SimResult<()> + Sync) -> SimError {
+    let spec = ChipSpec::tiny();
+    let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+    launch(&spec, &gm, 1, "inject", kernel).expect_err("injected misuse must be detected")
+}
+
+#[test]
+fn simcheck_detects_use_after_free() {
+    let err = inject(|ctx| {
+        let v = &mut ctx.vecs[0];
+        let t = v.alloc_local::<f32>(ScratchpadKind::Ub, 64)?;
+        let mut stale = t.clone();
+        v.free_local(t)?;
+        v.fill_local(&mut stale, 0, 64, 1.0).map(|_| ())
+    });
+    assert!(
+        matches!(err, SimError::ScratchpadUseAfterFree { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn simcheck_detects_double_free() {
+    let err = inject(|ctx| {
+        let v = &mut ctx.vecs[0];
+        let t = v.alloc_local::<f32>(ScratchpadKind::Ub, 64)?;
+        let dup = t.clone();
+        v.free_local(t)?;
+        v.free_local(dup)
+    });
+    assert!(
+        matches!(err, SimError::ScratchpadUseAfterFree { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn simcheck_detects_stale_handle_over_recycled_range() {
+    let err = inject(|ctx| {
+        let v = &mut ctx.vecs[0];
+        let t = v.alloc_local::<f32>(ScratchpadKind::Ub, 64)?;
+        let mut stale = t.clone();
+        v.free_local(t)?;
+        // First-fit recycles the freed range, so the stale handle now
+        // aliases a live allocation.
+        let _fresh = v.alloc_local::<f32>(ScratchpadKind::Ub, 64)?;
+        v.fill_local(&mut stale, 0, 64, 1.0).map(|_| ())
+    });
+    assert!(matches!(err, SimError::ScratchpadOverlap { .. }), "{err}");
+}
+
+#[test]
+fn simcheck_detects_queue_underflow() {
+    let err = inject(|ctx| {
+        let v = &mut ctx.vecs[0];
+        let mut q = TQue::<f32>::new(v, ScratchpadKind::Ub, 2, 16)?;
+        let _ = q.deque()?;
+        Ok(())
+    });
+    assert!(
+        matches!(err, SimError::QueueUnderflow { op: "deque" }),
+        "{err}"
+    );
+}
+
+#[test]
+fn simcheck_detects_queue_overflow() {
+    let err = inject(|ctx| {
+        let v = &mut ctx.vecs[0];
+        let mut q = TQue::<f32>::new(v, ScratchpadKind::Ub, 1, 16)?;
+        let t = q.alloc_tensor()?;
+        q.enque(t)?;
+        // A buffer from outside the pool pushes past the configured depth.
+        let extra = v.alloc_local::<f32>(ScratchpadKind::Ub, 16)?;
+        q.enque(extra)?;
+        Ok(())
+    });
+    assert!(matches!(err, SimError::QueueOverflow { depth: 1 }), "{err}");
+}
+
+#[test]
+fn simcheck_detects_destroy_with_live_entries() {
+    let err = inject(|ctx| {
+        let v = &mut ctx.vecs[0];
+        let mut q = TQue::<f32>::new(v, ScratchpadKind::Ub, 2, 16)?;
+        let t = q.alloc_tensor()?;
+        q.enque(t)?;
+        q.destroy(v)
+    });
+    assert!(
+        matches!(err, SimError::QueueDestroyLive { in_flight: 1 }),
+        "{err}"
+    );
+}
+
+#[test]
+fn simcheck_detects_gm_view_overrun_on_datacopy() {
+    let spec = ChipSpec::tiny();
+    let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+    let x = GlobalTensor::<f32>::from_slice(&gm, &[1.0f32; 32]).unwrap();
+    let err = launch(&spec, &gm, 1, "oob", |ctx| {
+        let v = &mut ctx.vecs[0];
+        let mut t = v.alloc_local::<f32>(ScratchpadKind::Ub, 64)?;
+        // Reads 64 elements through a 32-element GM view.
+        v.copy_in(&mut t, 0, &x, 0, 64, &[])?;
+        Ok(())
+    })
+    .expect_err("GM view overrun must be detected");
+    assert!(matches!(err, SimError::OutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn simcheck_audits_reject_tampered_reports() {
+    let spec = ChipSpec::tiny();
+    let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+    let x = GlobalTensor::<f32>::from_slice(&gm, &[1.0f32; 64]).unwrap();
+    let report = launch(&spec, &gm, 1, "audit", |ctx| {
+        let v = &mut ctx.vecs[0];
+        let mut t = v.alloc_local::<f32>(ScratchpadKind::Ub, 64)?;
+        v.copy_in(&mut t, 0, &x, 0, 64, &[])?;
+        v.free_local(t)
+    })
+    .unwrap();
+
+    // The genuine report reconciles.
+    simcheck::audit_report(&report, &spec, report.bytes_read, report.bytes_written).unwrap();
+
+    // An engine busier than `cores x cycles` is impossible.
+    let mut busy = report.clone();
+    busy.engine_busy[EngineKind::Vec.index()] = u64::MAX / 2;
+    let err = simcheck::audit_report(&busy, &spec, report.bytes_read, report.bytes_written)
+        .expect_err("impossible busy cycles must be rejected");
+    assert!(matches!(err, SimError::AccountingViolation { .. }), "{err}");
+
+    // Claimed traffic must match the global-memory counters.
+    let mut traffic = report.clone();
+    traffic.bytes_read += 1;
+    let err = simcheck::audit_report(&traffic, &spec, report.bytes_read, report.bytes_written)
+        .expect_err("unreconciled traffic must be rejected");
+    assert!(matches!(err, SimError::AccountingViolation { .. }), "{err}");
 }
 
 #[test]

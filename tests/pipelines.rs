@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: operator pipelines composed end to
 //! end on the simulated 910B4, validated against host references.
 
-use ascend_scan::dtypes::{F16, RadixKey};
+use ascend_scan::dtypes::{RadixKey, F16};
 use ascend_scan::ops::SortOrder;
 use ascend_scan::{Device, ScanKind};
 
@@ -57,7 +57,9 @@ fn split_and_compress_agree() {
     let dev = device();
     let n = 120_000;
     let vals: Vec<u16> = (0..n).map(|i| (i * 7919 % 65536) as u16).collect();
-    let mask: Vec<u8> = (0..n).map(|i| (((i as u64 * 2654435761) >> 16) & 1) as u8).collect();
+    let mask: Vec<u8> = (0..n)
+        .map(|i| (((i as u64 * 2654435761) >> 16) & 1) as u8)
+        .collect();
     let x = dev.tensor(&vals).unwrap();
     let m = dev.tensor(&mask).unwrap();
 
@@ -101,12 +103,17 @@ fn top_p_token_comes_from_the_nucleus() {
 fn weighted_sampling_matches_cdf_quantiles() {
     let dev = device();
     // Geometric-ish weights; verify draws land at the analytic quantile.
-    let w: Vec<f32> = (0..10_000).map(|i| if i < 100 { 50.0 } else { 1.0 }).collect();
+    let w: Vec<f32> = (0..10_000)
+        .map(|i| if i < 100 { 50.0 } else { 1.0 })
+        .collect();
     let total: f32 = w.iter().sum(); // 5000 + 9900 = 14900
     let x = dev.tensor(&w).unwrap();
     // theta deep inside the heavy head.
     let run = dev.weighted_sample(&x, 0.2).unwrap();
-    assert!(run.index < 100, "theta 0.2*{total} < 5000 lands in the head");
+    assert!(
+        run.index < 100,
+        "theta 0.2*{total} < 5000 lands in the head"
+    );
     // theta in the uniform tail.
     let run = dev.weighted_sample(&x, 0.9).unwrap();
     assert!(run.index >= 100);
@@ -152,13 +159,19 @@ fn topk_agrees_with_full_sort() {
 #[test]
 fn exclusive_scan_is_shifted_inclusive_on_device() {
     let dev = device();
-    let mask: Vec<u8> = (0..77_777u64).map(|i| ((i * 40503) >> 13 & 1) as u8).collect();
+    let mask: Vec<u8> = (0..77_777u64)
+        .map(|i| ((i * 40503) >> 13 & 1) as u8)
+        .collect();
     let m = dev.tensor(&mask).unwrap();
     let inc = ascend_scan::scan::mcscan::mcscan::<u8, i16, i32>(
         dev.spec(),
         dev.memory(),
         &m,
-        ascend_scan::McScanConfig { s: 128, blocks: 20, kind: ScanKind::Inclusive },
+        ascend_scan::McScanConfig {
+            s: 128,
+            blocks: 20,
+            kind: ScanKind::Inclusive,
+        },
     )
     .unwrap();
     let exc = dev.mask_exclusive_scan(&m).unwrap();

@@ -2,7 +2,7 @@
 //! device path, checked against host references. Sizes stay moderate so
 //! the functional simulation remains fast in debug builds.
 
-use ascend_scan::dtypes::{F16, RadixKey};
+use ascend_scan::dtypes::{RadixKey, F16};
 use ascend_scan::ops::SortOrder;
 use ascend_scan::{Device, McScanConfig, ScanKind};
 use proptest::prelude::*;
