@@ -315,6 +315,15 @@ impl ChipSpec {
             EngineKind::Scalar,
         ]
     }
+
+    /// Number of cores in a `blocks`-block launch that carry `engine`
+    /// (cube and vector cores have different engine sets; each block has
+    /// one cube core plus `vec_per_core` vector cores).
+    pub fn cores_with_engine(&self, blocks: u32, engine: EngineKind) -> u64 {
+        let on_cube = u64::from(Self::cube_core_engines().contains(&engine));
+        let on_vec = u64::from(Self::vec_core_engines().contains(&engine));
+        u64::from(blocks) * (on_cube + on_vec * u64::from(self.vec_per_core))
+    }
 }
 
 /// The local scratchpad buffers of the DaVinci memory hierarchy.

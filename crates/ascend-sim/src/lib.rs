@@ -42,6 +42,7 @@ pub mod chip;
 pub mod engine;
 pub mod error;
 pub mod mem;
+pub mod prof;
 pub mod report;
 pub mod simcheck;
 pub mod sync;
@@ -52,6 +53,10 @@ pub use chip::ChipSpec;
 pub use engine::EngineKind;
 pub use error::{SimError, SimResult};
 pub use mem::{GlobalMemory, Region};
+pub use prof::{
+    CounterEvent, KernelProfile, Profile, SpanArgs, SpanId, SpanRecorder, StallCause, StallEvent,
+    StallTally, TraceSpan,
+};
 pub use report::KernelReport;
 pub use simcheck::{ScratchTracker, ValidationMode};
 pub use sync::SharedSync;

@@ -2,6 +2,8 @@
 
 use crate::chip::ChipSpec;
 use crate::engine::EngineKind;
+use crate::prof::StallTally;
+use crate::trace::json_escape;
 
 /// Result of simulating one kernel launch: the corrected simulated time
 /// plus traffic and occupancy statistics.
@@ -35,6 +37,15 @@ pub struct KernelReport {
     pub engine_instructions: [u64; EngineKind::ALL.len()],
     /// Number of global barriers executed.
     pub sync_rounds: u64,
+    /// Attributed stall cycles per engine kind, summed over all cores:
+    /// dependency-wait and barrier-wait partition the idle time
+    /// (`busy + dependency + barrier = cores × (cycles − launch)`),
+    /// while contention measures queueing delay overlapping busy time.
+    pub stalls: StallTally,
+    /// Cycles blocks collectively idled at each barrier round (one entry
+    /// per `SyncAll` plus a final entry for the kernel-end alignment, so
+    /// `barrier_waits.len() == sync_rounds + 1` for launched kernels).
+    pub barrier_waits: Vec<u64>,
 }
 
 impl KernelReport {
@@ -119,11 +130,15 @@ impl KernelReport {
         assert!(!parts.is_empty(), "sequential needs at least one report");
         let mut engine_busy = [0u64; EngineKind::ALL.len()];
         let mut engine_instructions = [0u64; EngineKind::ALL.len()];
+        let mut stalls = StallTally::default();
+        let mut barrier_waits = Vec::new();
         for p in parts {
             for i in 0..EngineKind::ALL.len() {
                 engine_busy[i] += p.engine_busy[i];
                 engine_instructions[i] += p.engine_instructions[i];
             }
+            stalls.absorb(&p.stalls);
+            barrier_waits.extend_from_slice(&p.barrier_waits);
         }
         KernelReport {
             name: name.to_string(),
@@ -137,7 +152,86 @@ impl KernelReport {
             engine_busy,
             engine_instructions,
             sync_rounds: parts.iter().map(|p| p.sync_rounds).sum(),
+            stalls,
+            barrier_waits,
         }
+    }
+
+    /// Renders the report as one JSON object with a stable schema
+    /// (`bench-scan/v1`): identification (`name`, `blocks`), totals
+    /// (`cycles`, `time_us`, traffic and byte counters, `sync_rounds`,
+    /// `barrier_wait_cycles`), derived rates (`gbps`, `traffic_gbps`,
+    /// `gelems`, `fraction_of_peak` — `0.0` when the underlying
+    /// denominator is zero), and a per-engine map `engines` keyed by
+    /// engine name with `busy_cycles`, `instructions`, `utilization`,
+    /// and the stall breakdown (`stall_dependency`, `stall_contention`,
+    /// `stall_barrier`).
+    pub fn to_json(&self, spec: &ChipSpec) -> String {
+        fn jf(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.6}")
+            } else {
+                "0.0".to_string()
+            }
+        }
+        let has_time = self.cycles > 0;
+        let gbps = if has_time && self.useful_bytes > 0 {
+            self.gbps()
+        } else {
+            0.0
+        };
+        let traffic_gbps = if has_time { self.traffic_gbps() } else { 0.0 };
+        let gelems = if has_time && self.elements > 0 {
+            self.gelems()
+        } else {
+            0.0
+        };
+        let fraction_of_peak = gbps * 1e9 / spec.hbm_bytes_per_sec;
+        let barrier_waits = self
+            .barrier_waits
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut engines = String::new();
+        for (i, e) in EngineKind::ALL.iter().enumerate() {
+            let cores = spec.cores_with_engine(self.blocks, *e);
+            if i > 0 {
+                engines.push(',');
+            }
+            engines.push_str(&format!(
+                "\"{}\":{{\"busy_cycles\":{},\"instructions\":{},\"utilization\":{},\
+                 \"stall_dependency\":{},\"stall_contention\":{},\"stall_barrier\":{}}}",
+                e.name(),
+                self.engine_busy[i],
+                self.engine_instructions[i],
+                jf(self.utilization(*e, cores as u32)),
+                self.stalls.dependency[i],
+                self.stalls.contention[i],
+                self.stalls.barrier[i],
+            ));
+        }
+        format!(
+            "{{\"name\":\"{}\",\"blocks\":{},\"cycles\":{},\"time_us\":{},\
+             \"gbps\":{},\"traffic_gbps\":{},\"gelems\":{},\"fraction_of_peak\":{},\
+             \"bytes_read\":{},\"bytes_written\":{},\"useful_bytes\":{},\"elements\":{},\
+             \"sync_rounds\":{},\"barrier_wait_cycles\":[{}],\"engines\":{{{}}}}}",
+            json_escape(&self.name),
+            self.blocks,
+            self.cycles,
+            jf(self.time_us()),
+            jf(gbps),
+            jf(traffic_gbps),
+            jf(gelems),
+            jf(fraction_of_peak),
+            self.bytes_read,
+            self.bytes_written,
+            self.useful_bytes,
+            self.elements,
+            self.sync_rounds,
+            barrier_waits,
+            engines,
+        )
     }
 }
 
@@ -158,6 +252,8 @@ mod tests {
             engine_busy: [0, 0, 0, 0, 900_000, 0, 0],
             engine_instructions: [0; 7],
             sync_rounds: 1,
+            stalls: StallTally::default(),
+            barrier_waits: vec![100, 50],
         }
     }
 
@@ -204,6 +300,55 @@ mod tests {
         assert_eq!(s.bytes_read, 6_000_000);
         assert_eq!(s.useful_bytes, 0);
         assert_eq!(s.elements, 0);
+        // Barrier-wait rounds concatenate; stalls add up.
+        assert_eq!(s.barrier_waits, vec![100, 50, 100, 50]);
+    }
+
+    #[test]
+    fn json_report_has_schema_keys_and_escapes_names() {
+        let mut r = report();
+        r.name = "weird \"name\"\\".into();
+        r.stalls.dependency[EngineKind::Cube.index()] = 123;
+        let spec = ChipSpec::ascend_910b4();
+        let json = r.to_json(&spec);
+        for key in [
+            "\"name\":",
+            "\"blocks\":",
+            "\"cycles\":",
+            "\"time_us\":",
+            "\"gbps\":",
+            "\"traffic_gbps\":",
+            "\"gelems\":",
+            "\"fraction_of_peak\":",
+            "\"sync_rounds\":",
+            "\"barrier_wait_cycles\":",
+            "\"engines\":",
+            "\"stall_dependency\":",
+            "\"stall_contention\":",
+            "\"stall_barrier\":",
+            "\"busy_cycles\":",
+            "\"instructions\":",
+            "\"utilization\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("weird \\\"name\\\"\\\\"));
+        assert!(json.contains("\"CUBE\":{"));
+        assert!(json.contains("\"stall_dependency\":123"));
+        assert!(json.contains("\"barrier_wait_cycles\":[100,50]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_report_guards_zero_denominators() {
+        let spec = ChipSpec::tiny();
+        let r = KernelReport::sequential("unfilled", &[report()]);
+        // useful_bytes and elements are zero: to_json must not trip the
+        // gbps()/gelems() debug asserts and reports 0.0 instead.
+        let json = r.to_json(&spec);
+        assert!(json.contains("\"gbps\":0.0"));
+        assert!(json.contains("\"gelems\":0.0"));
+        assert!(json.contains("\"fraction_of_peak\":0.0"));
     }
 
     #[cfg(debug_assertions)]

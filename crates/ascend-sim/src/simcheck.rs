@@ -253,14 +253,6 @@ pub fn audit_trace_events(events: &[TraceEvent]) -> SimResult<()> {
     Ok(())
 }
 
-/// Number of cores in a `blocks`-block launch on `spec` that carry
-/// `engine` (cube cores and vector cores have different engine sets).
-fn cores_with_engine(spec: &ChipSpec, blocks: u32, engine: EngineKind) -> u64 {
-    let on_cube = u64::from(ChipSpec::cube_core_engines().contains(&engine));
-    let on_vec = u64::from(ChipSpec::vec_core_engines().contains(&engine));
-    u64::from(blocks) * (on_cube + on_vec * u64::from(spec.vec_per_core))
-}
-
 /// Audits a finished [`KernelReport`] against the chip spec and the
 /// observed global-memory counter deltas:
 ///
@@ -275,7 +267,7 @@ pub fn audit_report(
     gm_written_delta: u64,
 ) -> SimResult<()> {
     for e in EngineKind::ALL {
-        let bound = cores_with_engine(spec, report.blocks, e) * report.cycles;
+        let bound = spec.cores_with_engine(report.blocks, e) * report.cycles;
         let busy = report.engine_busy[e.index()];
         if busy > bound {
             return Err(SimError::AccountingViolation {
@@ -283,7 +275,7 @@ pub fn audit_report(
                 detail: format!(
                     "engine {}: {busy} busy cycles exceed bound {bound} ({} cores x {} cycles)",
                     e.name(),
-                    cores_with_engine(spec, report.blocks, e),
+                    spec.cores_with_engine(report.blocks, e),
                     report.cycles
                 ),
             });
@@ -306,6 +298,43 @@ pub fn audit_report(
                 report.bytes_written
             ),
         });
+    }
+    Ok(())
+}
+
+/// Audits the stall-attribution partition of a launched kernel's report:
+/// with every core created at `launch_cycles` and aligned to the kernel
+/// end, each engine's time decomposes *exactly* as
+///
+/// ```text
+/// busy + stall_dependency + stall_barrier
+///     == cores_with_engine × (cycles − launch_cycles)
+/// ```
+///
+/// (contention overlaps busy time and is deliberately outside the
+/// partition). Only valid for reports produced by the launch machinery —
+/// synthetic or [`KernelReport::sequential`] reports don't satisfy it.
+pub fn audit_stall_accounting(report: &KernelReport, spec: &ChipSpec) -> SimResult<()> {
+    let span = report.cycles.saturating_sub(spec.launch_cycles);
+    for e in EngineKind::ALL {
+        let i = e.index();
+        let accounted =
+            report.engine_busy[i] + report.stalls.dependency[i] + report.stalls.barrier[i];
+        let expected = spec.cores_with_engine(report.blocks, e) * span;
+        if accounted != expected {
+            return Err(SimError::AccountingViolation {
+                what: "stall accounting partition",
+                detail: format!(
+                    "engine {}: busy {} + dep {} + barrier {} = {accounted} \
+                     != {expected} ({} cores x {span} cycles)",
+                    e.name(),
+                    report.engine_busy[i],
+                    report.stalls.dependency[i],
+                    report.stalls.barrier[i],
+                    spec.cores_with_engine(report.blocks, e),
+                ),
+            });
+        }
     }
     Ok(())
 }
@@ -435,6 +464,8 @@ mod tests {
             engine_busy: [0; EngineKind::ALL.len()],
             engine_instructions: [0; EngineKind::ALL.len()],
             sync_rounds: 0,
+            stalls: crate::prof::StallTally::default(),
+            barrier_waits: Vec::new(),
         };
         assert!(audit_report(&report, &spec, 512, 256).is_ok());
 
@@ -454,6 +485,43 @@ mod tests {
         ));
         assert!(matches!(
             audit_report(&report, &spec, 512, 0),
+            Err(SimError::AccountingViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn stall_accounting_partition_must_close() {
+        let spec = ChipSpec::tiny();
+        let span = 900u64; // cycles - launch_cycles (tiny: launch = 100)
+        let mut report = KernelReport {
+            name: "t".into(),
+            blocks: 1,
+            cycles: spec.launch_cycles + span,
+            clock_ghz: 1.0,
+            bytes_read: 0,
+            bytes_written: 0,
+            useful_bytes: 0,
+            elements: 0,
+            engine_busy: [0; EngineKind::ALL.len()],
+            engine_instructions: [0; EngineKind::ALL.len()],
+            sync_rounds: 0,
+            stalls: crate::prof::StallTally::default(),
+            barrier_waits: Vec::new(),
+        };
+        // Fill every engine's partition exactly: busy + dep + barrier
+        // must equal cores_with_engine x span.
+        for e in EngineKind::ALL {
+            let cores = spec.cores_with_engine(1, e);
+            report.engine_busy[e.index()] = 100 * cores;
+            report.stalls.dependency[e.index()] = 300 * cores;
+            report.stalls.barrier[e.index()] = (span - 400) * cores;
+        }
+        assert!(audit_stall_accounting(&report, &spec).is_ok());
+
+        // A missing cycle anywhere breaks the partition.
+        report.stalls.barrier[EngineKind::Vec.index()] -= 1;
+        assert!(matches!(
+            audit_stall_accounting(&report, &spec),
             Err(SimError::AccountingViolation { .. })
         ));
     }

@@ -30,6 +30,10 @@ struct SegmentState {
     resolved: EventTime,
     /// Number of barrier rounds completed (SyncAll count).
     rounds: u64,
+    /// Wait cycles per completed round, summed over blocks: how long the
+    /// blocks collectively idled at each barrier (the unpriced AIC→AIV
+    /// flag-sync gap made visible).
+    round_waits: Vec<u64>,
 }
 
 /// Shared synchronization state for one kernel launch.
@@ -61,6 +65,7 @@ impl SharedSync {
                 max_clock: 0,
                 resolved: 0,
                 rounds: 0,
+                round_waits: Vec::new(),
             }),
             wait_cycles: AtomicU64::new(0),
         }
@@ -93,13 +98,21 @@ impl SharedSync {
             st.bytes_mark = gm.bytes_read() + gm.bytes_written();
             st.max_clock = 0;
             st.rounds += 1;
+            st.round_waits.push(0);
         }
         self.publish.wait();
-        let resolved = self
-            .state
-            .lock()
-            .expect("SharedSync lock poisoned")
-            .resolved;
+        // Safe to accumulate into the freshly pushed round slot: the next
+        // round's leader section cannot run until every block has passed
+        // this round's publish barrier and re-entered `sync`.
+        let resolved = {
+            let mut st = self.state.lock().expect("SharedSync lock poisoned");
+            let resolved = st.resolved;
+            let wait = resolved.saturating_sub(local_clock);
+            if let Some(last) = st.round_waits.last_mut() {
+                *last += wait;
+            }
+            resolved
+        };
         self.wait_cycles
             .fetch_add(resolved.saturating_sub(local_clock), Ordering::Relaxed);
         resolved
@@ -113,6 +126,16 @@ impl SharedSync {
     /// Total cycles blocks spent waiting at barriers (summed over blocks).
     pub fn total_wait_cycles(&self) -> u64 {
         self.wait_cycles.load(Ordering::SeqCst)
+    }
+
+    /// Wait cycles per completed barrier round, summed over blocks. The
+    /// last entry is the kernel-end alignment round.
+    pub fn round_waits(&self) -> Vec<u64> {
+        self.state
+            .lock()
+            .expect("SharedSync lock poisoned")
+            .round_waits
+            .clone()
     }
 }
 
@@ -215,5 +238,25 @@ mod tests {
         let t = sync.sync(100, &gm, &spec, 25);
         assert_eq!(t, 125);
         assert_eq!(sync.total_wait_cycles(), 25);
+        assert_eq!(sync.round_waits(), vec![0, 25]);
+    }
+
+    #[test]
+    fn per_round_waits_sum_over_blocks() {
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        let sync = Arc::new(SharedSync::new(3));
+        let clocks = [100u64, 5000, 250];
+        std::thread::scope(|s| {
+            for &c in &clocks {
+                let sync = Arc::clone(&sync);
+                let gm = Arc::clone(&gm);
+                let spec = spec.clone();
+                s.spawn(move || sync.sync(c, &gm, &spec, 7));
+            }
+        });
+        // Each block waits (5007 - its clock); the round's entry sums them.
+        assert_eq!(sync.round_waits(), vec![4907 + 7 + 4757]);
+        assert_eq!(sync.total_wait_cycles(), 4907 + 7 + 4757);
     }
 }

@@ -11,6 +11,7 @@
 use crate::chip::ChipSpec;
 use crate::engine::EngineKind;
 use crate::error::{SimError, SimResult};
+use crate::prof::{StallCause, StallTally};
 
 /// Completion time of an instruction, in core cycles since kernel start.
 pub type EventTime = u64;
@@ -46,14 +47,21 @@ impl CoreKind {
 #[derive(Clone, Debug)]
 pub struct CoreTimeline {
     kind: CoreKind,
+    /// The cycle the core was created at (launch overhead boundary);
+    /// idle time before it is charged to nobody.
+    origin: EventTime,
     /// Cycle at which each engine becomes free.
     free_at: [EventTime; EngineKind::ALL.len()],
     /// Accumulated busy cycles per engine (for utilization reports).
     busy: [u64; EngineKind::ALL.len()],
     /// Number of instructions issued per engine.
     issued: [u64; EngineKind::ALL.len()],
+    /// Attributed idle/queueing cycles per engine (always counted).
+    stalls: StallTally,
     /// Recorded (engine, start, end) intervals, when tracing is on.
     recorded: Option<Vec<(EngineKind, EventTime, EventTime)>>,
+    /// Recorded idle intervals with causes, when tracing is on.
+    recorded_stalls: Option<Vec<(EngineKind, StallCause, EventTime, EventTime)>>,
 }
 
 impl CoreTimeline {
@@ -61,23 +69,40 @@ impl CoreTimeline {
     pub fn new(kind: CoreKind, start: EventTime) -> Self {
         CoreTimeline {
             kind,
+            origin: start,
             free_at: [start; EngineKind::ALL.len()],
             busy: [0; EngineKind::ALL.len()],
             issued: [0; EngineKind::ALL.len()],
+            stalls: StallTally::default(),
             recorded: None,
+            recorded_stalls: None,
         }
     }
 
-    /// Turns on per-instruction interval recording (for trace export).
+    /// Turns on per-instruction interval recording (for trace export),
+    /// including idle-interval (stall) recording.
     pub fn enable_recording(&mut self) {
         if self.recorded.is_none() {
             self.recorded = Some(Vec::new());
+        }
+        if self.recorded_stalls.is_none() {
+            self.recorded_stalls = Some(Vec::new());
         }
     }
 
     /// The recorded (engine, start, end) intervals, if tracing was on.
     pub fn recorded(&self) -> &[(EngineKind, EventTime, EventTime)] {
         self.recorded.as_deref().unwrap_or(&[])
+    }
+
+    /// The recorded idle intervals with their causes, if tracing was on.
+    pub fn recorded_stalls(&self) -> &[(EngineKind, StallCause, EventTime, EventTime)] {
+        self.recorded_stalls.as_deref().unwrap_or(&[])
+    }
+
+    /// The attributed stall cycles accumulated so far.
+    pub fn stalls(&self) -> &StallTally {
+        &self.stalls
     }
 
     /// The core kind.
@@ -101,8 +126,22 @@ impl CoreTimeline {
         }
         let idx = engine.index();
         let ready = deps.iter().copied().max().unwrap_or(0);
-        let start = self.free_at[idx].max(ready);
+        let prev_free = self.free_at[idx];
+        let start = prev_free.max(ready);
         let end = start + cycles;
+        // Stall attribution (observational — `start`/`end` are already
+        // decided above): the engine idled from `prev_free` to `start`
+        // waiting for inputs; conversely, if the inputs were ready while
+        // the engine was still busy, the instruction queued for
+        // `prev_free - max(ready, origin)` cycles (engine contention;
+        // overlaps the engine's own busy time, see `prof::StallTally`).
+        if start > prev_free {
+            self.stalls.dependency[idx] += start - prev_free;
+            if let Some(rec) = &mut self.recorded_stalls {
+                rec.push((engine, StallCause::Dependency, prev_free, start));
+            }
+        }
+        self.stalls.contention[idx] += prev_free.saturating_sub(ready.max(self.origin));
         self.free_at[idx] = end;
         self.busy[idx] += cycles;
         self.issued[idx] += 1;
@@ -119,10 +158,21 @@ impl CoreTimeline {
     }
 
     /// Advances every engine's free time to at least `t` (used at global
-    /// barriers and when waiting on a cross-core event).
+    /// barriers and when waiting on a cross-core event). The skipped-over
+    /// idle cycles are attributed as barrier waits on the engines this
+    /// core actually has.
     pub fn align_to(&mut self, t: EventTime) {
-        for f in &mut self.free_at {
-            *f = (*f).max(t);
+        for (i, e) in EngineKind::ALL.iter().enumerate() {
+            let f = self.free_at[i];
+            if t > f {
+                if self.kind.has_engine(*e) {
+                    self.stalls.barrier[i] += t - f;
+                    if let Some(rec) = &mut self.recorded_stalls {
+                        rec.push((*e, StallCause::Barrier, f, t));
+                    }
+                }
+                self.free_at[i] = t;
+            }
         }
     }
 
@@ -143,6 +193,7 @@ impl CoreTimeline {
             self.busy[i] += other.busy[i];
             self.issued[i] += other.issued[i];
         }
+        self.stalls.absorb(&other.stalls);
     }
 }
 
@@ -219,6 +270,61 @@ mod tests {
         total.absorb_counters(&core);
         total.absorb_counters(&core);
         assert_eq!(total.busy_cycles(EngineKind::Vec), 50);
+    }
+
+    #[test]
+    fn stall_attribution_partitions_idle_time() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 100);
+        core.enable_recording();
+        // Engine free at 100 but inputs ready at 150: dependency-wait.
+        let a = core.exec(EngineKind::Vec, 10, &[150]).unwrap();
+        assert_eq!(a, 160);
+        assert_eq!(core.stalls().dependency[EngineKind::Vec.index()], 50);
+        // Inputs ready at 120 while the engine is busy until 160: the
+        // instruction queues for 40 cycles (contention, overlaps busy).
+        let b = core.exec(EngineKind::Vec, 5, &[120]).unwrap();
+        assert_eq!(b, 165);
+        assert_eq!(core.stalls().contention[EngineKind::Vec.index()], 40);
+        // Barrier alignment: idle 165 -> 200 is a barrier wait.
+        core.align_to(200);
+        assert_eq!(core.stalls().barrier[EngineKind::Vec.index()], 35);
+        // The idle partition closes: busy + dep + barrier == now - origin.
+        let busy = core.busy_cycles(EngineKind::Vec);
+        assert_eq!(busy + 50 + 35, 200 - 100);
+        // Recorded intervals carry their causes.
+        let stalls = core.recorded_stalls();
+        assert!(stalls.contains(&(EngineKind::Vec, StallCause::Dependency, 100, 150)));
+        assert!(stalls.contains(&(EngineKind::Vec, StallCause::Barrier, 165, 200)));
+    }
+
+    #[test]
+    fn stall_attribution_ignores_pre_origin_idle() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 500);
+        // A dependency earlier than the origin causes no dependency wait
+        // and no contention: the core simply did not exist yet.
+        core.exec(EngineKind::Vec, 10, &[100]).unwrap();
+        assert_eq!(core.stalls().dependency[EngineKind::Vec.index()], 0);
+        assert_eq!(core.stalls().contention[EngineKind::Vec.index()], 0);
+    }
+
+    #[test]
+    fn barrier_waits_only_charged_to_present_engines() {
+        let mut core = CoreTimeline::new(CoreKind::Vector, 0);
+        core.align_to(100);
+        // Vector cores have no CUBE engine: nothing charged there.
+        assert_eq!(core.stalls().barrier[EngineKind::Cube.index()], 0);
+        assert_eq!(core.stalls().barrier[EngineKind::Vec.index()], 100);
+        assert_eq!(core.stalls().barrier[EngineKind::Mte2.index()], 100);
+    }
+
+    #[test]
+    fn absorb_counters_merges_stalls() {
+        let mut a = CoreTimeline::new(CoreKind::Vector, 0);
+        a.exec(EngineKind::Vec, 10, &[25]).unwrap();
+        let mut total = CoreTimeline::new(CoreKind::Vector, 0);
+        total.absorb_counters(&a);
+        total.absorb_counters(&a);
+        assert_eq!(total.stalls().dependency[EngineKind::Vec.index()], 50);
     }
 
     #[test]

@@ -24,11 +24,32 @@ pub struct TraceEvent {
     pub end: u64,
 }
 
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters are encoded so that a hostile
+/// event/span name can never break the document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders events as a Chrome Trace Event JSON document.
 ///
 /// `clock_ghz` converts cycles to the microsecond timestamps the format
 /// expects. Tracks: one *process* per block, one *thread* per
-/// (core, engine) pair.
+/// (core, engine) pair. All names pass through [`json_escape`].
 pub fn to_chrome_json(events: &[TraceEvent], clock_ghz: f64) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"traceEvents\":[");
@@ -44,12 +65,12 @@ pub fn to_chrome_json(events: &[TraceEvent], clock_ghz: f64) -> String {
         };
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":\"{}.{}\"}}",
-            e.engine.name(),
+            json_escape(e.engine.name()),
             to_us(e.start),
             to_us(e.end.saturating_sub(e.start)).max(0.001),
             e.block,
-            core_name,
-            e.engine.name(),
+            json_escape(&core_name),
+            json_escape(e.engine.name()),
         ));
     }
     out.push_str("]}");
@@ -99,5 +120,42 @@ mod tests {
     #[test]
     fn empty_trace() {
         assert_eq!(to_chrome_json(&[], 1.8), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn hostile_names_are_escaped() {
+        let hostile = "a\"b\\c\nd\re\tf\u{1}g";
+        let escaped = json_escape(hostile);
+        assert_eq!(escaped, "a\\\"b\\\\c\\nd\\re\\tf\\u0001g");
+        // No raw control characters or unescaped quotes survive.
+        assert!(!escaped.chars().any(|c| (c as u32) < 0x20));
+        // Round-trip safety: embedding the escaped name keeps a JSON
+        // string literal well formed (balanced, single-quoted-span).
+        let doc = format!("{{\"name\":\"{escaped}\"}}");
+        let bytes = doc.as_bytes();
+        let mut in_string = false;
+        let mut escaped_next = false;
+        let mut depth = 0i32;
+        for &b in bytes {
+            if escaped_next {
+                escaped_next = false;
+                continue;
+            }
+            match b {
+                b'\\' if in_string => escaped_next = true,
+                b'"' => in_string = !in_string,
+                b'{' if !in_string => depth += 1,
+                b'}' if !in_string => depth -= 1,
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unterminated string in {doc}");
+        assert_eq!(depth, 0, "unbalanced braces in {doc}");
+    }
+
+    #[test]
+    fn plain_names_pass_through_unchanged() {
+        assert_eq!(json_escape("MTE2"), "MTE2");
+        assert_eq!(json_escape("Phase I (tile scans)"), "Phase I (tile scans)");
     }
 }

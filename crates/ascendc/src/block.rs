@@ -20,9 +20,10 @@
 
 use crate::core::Core;
 use ascend_sim::mem::GlobalMemory;
+use ascend_sim::prof::{self, KernelProfile, SpanRecorder};
 use ascend_sim::{
-    simcheck, ChipSpec, CoreKind, EngineKind, EventTime, KernelReport, SharedSync, SimError,
-    SimResult, TraceEvent,
+    simcheck, ChipSpec, CoreKind, CounterEvent, EngineKind, EventTime, KernelReport, SharedSync,
+    SimError, SimResult, SpanArgs, SpanId, StallEvent, StallTally, TraceEvent, TraceSpan,
 };
 use std::sync::Arc;
 
@@ -40,6 +41,8 @@ pub struct BlockCtx<'a> {
     spec: &'a ChipSpec,
     gm: &'a GlobalMemory,
     sync: &'a SharedSync,
+    /// Block-level phase spans (depth 1; kernel root is depth 0).
+    spans: SpanRecorder,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -65,14 +68,45 @@ impl<'a> BlockCtx<'a> {
     /// time.
     pub fn sync_all(&mut self) -> EventTime {
         let local = self.local_now();
+        let span = self.spans.begin("SyncAll", local);
         let resolved = self
             .sync
             .sync(local, self.gm, self.spec, self.spec.sync_all_cycles);
+        self.spans.end(span, resolved);
         self.cube.wait(resolved);
         for v in &mut self.vecs {
             v.wait(resolved);
         }
         resolved
+    }
+
+    // ---------------------------------------------------------------
+    // Profiling spans
+    // ---------------------------------------------------------------
+
+    /// Whether a profile collector (or trace) is active for this launch.
+    pub fn profiling(&self) -> bool {
+        self.spans.enabled()
+    }
+
+    /// Opens a block-level phase span (e.g. `"Phase I"`) starting at the
+    /// block's current completion horizon. A no-op returning
+    /// [`SpanId::NONE`] when profiling is off — kernels instrument
+    /// unconditionally at zero cost.
+    pub fn span_begin(&mut self, name: &'static str) -> SpanId {
+        let now = self.local_now();
+        self.spans.begin(name, now)
+    }
+
+    /// Closes a phase span at the block's current completion horizon.
+    pub fn span_end(&mut self, id: SpanId) {
+        let now = self.local_now();
+        self.spans.end(id, now);
+    }
+
+    /// Attaches argument payload to an open phase span.
+    pub fn span_args(&mut self, id: SpanId, args: SpanArgs) {
+        self.spans.set_args(id, args);
     }
 }
 
@@ -80,8 +114,12 @@ struct BlockOutcome {
     end: EventTime,
     busy: [u64; EngineKind::ALL.len()],
     instructions: [u64; EngineKind::ALL.len()],
+    stalls: StallTally,
     error: Option<SimError>,
     events: Vec<TraceEvent>,
+    spans: Vec<TraceSpan>,
+    stall_events: Vec<StallEvent>,
+    counters: Vec<CounterEvent>,
 }
 
 /// Launches `block_dim` blocks of `kernel` on the chip and returns the
@@ -145,6 +183,12 @@ where
         spec.launch_cycles,
         read_at_start + written_at_start,
     );
+    // The collector is thread-local state of the *caller*; block threads
+    // have their own (empty) TLS, so the decision is made here and the
+    // profile is submitted here after the join.
+    let collector = prof::collector_active();
+    let profiled = trace || collector;
+    let recording = profiled || spec.validation.audits();
 
     let outcomes: Vec<BlockOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..block_dim)
@@ -163,29 +207,50 @@ where
                         spec,
                         gm: gm_ref,
                         sync,
+                        spans: SpanRecorder::new(1),
                     };
-                    if trace || spec.validation.audits() {
+                    if recording {
                         ctx.cube.timeline_mut().enable_recording();
                         for v in &mut ctx.vecs {
                             v.timeline_mut().enable_recording();
+                        }
+                    }
+                    if profiled {
+                        ctx.spans.enable();
+                        ctx.cube.enable_profiling();
+                        for v in &mut ctx.vecs {
+                            v.enable_profiling();
                         }
                     }
                     let error = kernel(&mut ctx).err();
                     // Always join the final barrier so sibling blocks
                     // terminate; see module docs for failure semantics.
                     let end = sync.sync(ctx.local_now(), gm_ref, spec, 0);
+                    // Align every core to the kernel end so the tail wait
+                    // is attributed as barrier time and the per-engine
+                    // stall partition (busy + dependency + barrier =
+                    // elapsed) closes exactly.
+                    ctx.cube.wait(end);
+                    for v in &mut ctx.vecs {
+                        v.wait(end);
+                    }
                     let mut busy = [0u64; EngineKind::ALL.len()];
                     let mut instructions = [0u64; EngineKind::ALL.len()];
+                    let mut stalls = StallTally::default();
                     let mut events = Vec::new();
-                    for (ci, core) in std::iter::once(&ctx.cube)
-                        .chain(ctx.vecs.iter())
+                    let mut spans = ctx.spans.take(block_idx, prof::BLOCK_SCOPE, end);
+                    let mut stall_events = Vec::new();
+                    let mut counters = Vec::new();
+                    for (ci, core) in std::iter::once(&mut ctx.cube)
+                        .chain(ctx.vecs.iter_mut())
                         .enumerate()
                     {
                         for e in EngineKind::ALL {
                             busy[e.index()] += core.timeline().busy_cycles(e);
                             instructions[e.index()] += core.timeline().instructions(e);
                         }
-                        if trace || spec.validation.audits() {
+                        stalls.absorb(core.timeline().stalls());
+                        if recording {
                             events.extend(core.timeline().recorded().iter().map(
                                 |&(engine, start, end)| TraceEvent {
                                     block: block_idx,
@@ -196,13 +261,31 @@ where
                                 },
                             ));
                         }
+                        if profiled {
+                            stall_events.extend(core.timeline().recorded_stalls().iter().map(
+                                |&(engine, cause, start, end)| StallEvent {
+                                    block: block_idx,
+                                    core: ci as u32,
+                                    engine,
+                                    cause,
+                                    start,
+                                    end,
+                                },
+                            ));
+                            spans.extend(core.take_spans(block_idx, ci as u32, end));
+                            counters.extend(core.take_counters(block_idx, ci as u32));
+                        }
                     }
                     BlockOutcome {
                         end,
                         busy,
                         instructions,
+                        stalls,
                         error,
                         events,
+                        spans,
+                        stall_events,
+                        counters,
                     }
                 })
             })
@@ -219,16 +302,24 @@ where
 
     let mut busy = [0u64; EngineKind::ALL.len()];
     let mut instructions = [0u64; EngineKind::ALL.len()];
+    let mut stalls = StallTally::default();
     for o in &outcomes {
         for i in 0..EngineKind::ALL.len() {
             busy[i] += o.busy[i];
             instructions[i] += o.instructions[i];
         }
+        stalls.absorb(&o.stalls);
     }
     let cycles = outcomes.iter().map(|o| o.end).max().unwrap_or(0);
     let mut events: Vec<TraceEvent> = Vec::new();
+    let mut spans: Vec<TraceSpan> = Vec::new();
+    let mut stall_events: Vec<StallEvent> = Vec::new();
+    let mut counters: Vec<CounterEvent> = Vec::new();
     for o in outcomes {
         events.extend(o.events);
+        spans.extend(o.spans);
+        stall_events.extend(o.stall_events);
+        counters.extend(o.counters);
     }
     let report = KernelReport {
         name: name.to_string(),
@@ -242,6 +333,8 @@ where
         engine_busy: busy,
         engine_instructions: instructions,
         sync_rounds: sync.rounds().saturating_sub(1),
+        stalls,
+        barrier_waits: sync.round_waits(),
     };
     if spec.validation.audits() {
         simcheck::audit_trace_events(&events)?;
@@ -251,6 +344,25 @@ where
             gm.bytes_read() - read_at_start,
             gm.bytes_written() - written_at_start,
         )?;
+        simcheck::audit_stall_accounting(&report, spec)?;
+    }
+    if collector {
+        let profile_events = if trace {
+            events.clone()
+        } else {
+            std::mem::take(&mut events)
+        };
+        prof::submit(KernelProfile {
+            name: name.to_string(),
+            clock_ghz: spec.clock_ghz,
+            blocks: block_dim,
+            cycles,
+            events: profile_events,
+            spans,
+            stall_events,
+            counters,
+            stalls: report.stalls.clone(),
+        });
     }
     if !trace {
         events.clear();

@@ -5,7 +5,8 @@
 use crate::tensor::{GlobalTensor, LocalTensor};
 use ascend_sim::chip::ScratchpadKind;
 use ascend_sim::{
-    ChipSpec, CoreKind, CoreTimeline, EngineKind, EventTime, ScratchTracker, SimError, SimResult,
+    ChipSpec, CoreKind, CoreTimeline, CounterEvent, EngineKind, EventTime, ScratchTracker,
+    SimError, SimResult, SpanArgs, SpanId, SpanRecorder, TraceSpan,
 };
 use dtypes::{CubeInput, Element, Numeric};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +55,14 @@ pub struct Core<'a> {
     pub(crate) spec: &'a ChipSpec,
     scratch_used: [usize; NUM_SCRATCHPADS],
     tracker: ScratchTracker,
+    /// Per-core tile/instruction spans (depth >= 2 in the span hierarchy:
+    /// kernel = 0, block phases = 1, core work = 2). Disabled by default;
+    /// `span_begin` is a no-op returning [`SpanId::NONE`] until the launch
+    /// machinery enables profiling.
+    recorder: SpanRecorder,
+    /// Counter samples (name, time, value) flushed here by queues on
+    /// destroy; drained into the kernel profile at harvest.
+    counters: Vec<(&'static str, EventTime, u32)>,
 }
 
 impl<'a> Core<'a> {
@@ -64,6 +73,8 @@ impl<'a> Core<'a> {
             spec,
             scratch_used: [0; NUM_SCRATCHPADS],
             tracker: ScratchTracker::new(spec.validation.lifetime_checks()),
+            recorder: SpanRecorder::new(2),
+            counters: Vec::new(),
         }
     }
 
@@ -94,6 +105,79 @@ impl<'a> Core<'a> {
 
     pub(crate) fn timeline(&self) -> &CoreTimeline {
         &self.timeline
+    }
+
+    // ---------------------------------------------------------------
+    // Profiling spans
+    // ---------------------------------------------------------------
+
+    /// Turns on span/counter recording for this core. Called by the
+    /// launch machinery when a profile collector or trace is active;
+    /// purely observational — simulated time is unaffected.
+    pub(crate) fn enable_profiling(&mut self) {
+        self.recorder.enable();
+    }
+
+    /// Whether profiling spans are being recorded on this core.
+    pub fn profiling(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Opens a named span starting at the core's current completion
+    /// horizon. Returns [`SpanId::NONE`] (and records nothing) when
+    /// profiling is off, so kernels can instrument unconditionally.
+    pub fn span_begin(&mut self, name: &'static str) -> SpanId {
+        let now = self.timeline.now();
+        self.recorder.begin(name, now)
+    }
+
+    /// Closes a span at the core's current completion horizon.
+    pub fn span_end(&mut self, id: SpanId) {
+        let now = self.timeline.now();
+        self.recorder.end(id, now);
+    }
+
+    /// Closes a span at an explicit completion event — use when the
+    /// interval of interest ends at an instruction's retire time rather
+    /// than the core-wide horizon (e.g. a tile whose last `copy_out`
+    /// completes on MTE3 while the vector engine has moved on).
+    pub fn span_end_at(&mut self, id: SpanId, at: EventTime) {
+        self.recorder.end(id, at);
+    }
+
+    /// Attaches argument payload (bytes moved, instruction kind, queue
+    /// depth) to an open span; shown in the trace viewer.
+    pub fn span_args(&mut self, id: SpanId, args: SpanArgs) {
+        self.recorder.set_args(id, args);
+    }
+
+    /// Queue-occupancy counter sink (flushed by [`crate::TQue::destroy`]).
+    pub(crate) fn push_counter(&mut self, name: &'static str, time: EventTime, value: u32) {
+        self.counters.push((name, time, value));
+    }
+
+    /// Harvests this core's spans (closing any left open at `final_time`).
+    pub(crate) fn take_spans(
+        &mut self,
+        block: u32,
+        core: u32,
+        final_time: EventTime,
+    ) -> Vec<TraceSpan> {
+        self.recorder.take(block, core, final_time)
+    }
+
+    /// Harvests this core's counter samples.
+    pub(crate) fn take_counters(&mut self, block: u32, core: u32) -> Vec<CounterEvent> {
+        self.counters
+            .drain(..)
+            .map(|(name, time, value)| CounterEvent {
+                block,
+                core,
+                name,
+                time,
+                value,
+            })
+            .collect()
     }
 
     fn check_pos_on_core(&self, what: &'static str, pos: ScratchpadKind) -> SimResult<()> {

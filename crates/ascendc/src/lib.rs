@@ -33,4 +33,7 @@ pub use tensor::{GlobalTensor, LocalTensor};
 pub use vecops::Bits;
 
 pub use ascend_sim::chip::ScratchpadKind;
-pub use ascend_sim::{ChipSpec, EventTime, KernelReport, SimError, SimResult};
+pub use ascend_sim::{
+    ChipSpec, EventTime, KernelProfile, KernelReport, Profile, SimError, SimResult, SpanArgs,
+    SpanId, StallCause, StallTally,
+};

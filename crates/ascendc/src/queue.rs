@@ -23,6 +23,13 @@ pub struct TQue<T: Element> {
     depth: usize,
     free: VecDeque<LocalTensor<T>>,
     queued: VecDeque<LocalTensor<T>>,
+    /// Profiling name; when set, buffer occupancy is sampled at every
+    /// alloc/free and flushed to the core's counter sink on `destroy`.
+    name: Option<&'static str>,
+    /// Buffers currently outside the free pool (allocated or queued).
+    in_flight: u32,
+    /// (time, in-flight count) samples; observational only.
+    occupancy: Vec<(EventTime, u32)>,
 }
 
 impl<T: Element> TQue<T> {
@@ -47,7 +54,24 @@ impl<T: Element> TQue<T> {
             depth,
             free,
             queued: VecDeque::new(),
+            name: None,
+            in_flight: 0,
+            occupancy: Vec::new(),
         })
+    }
+
+    /// Names the queue for profiling. A named queue samples its buffer
+    /// occupancy (in-flight count over simulated time) and, if the core
+    /// is profiling when the queue is destroyed, emits the samples as a
+    /// counter track in the kernel profile.
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// The queue's profiling name, if any.
+    pub fn name(&self) -> Option<&'static str> {
+        self.name
     }
 
     /// The queue's buffer pool depth.
@@ -64,9 +88,15 @@ impl<T: Element> TQue<T> {
     /// time is when its previous consumer released it — so the producer
     /// naturally stalls when the pipeline is full.
     pub fn alloc_tensor(&mut self) -> SimResult<LocalTensor<T>> {
-        self.free
+        let t = self
+            .free
             .pop_front()
-            .ok_or(SimError::QueueUnderflow { op: "alloc_tensor" })
+            .ok_or(SimError::QueueUnderflow { op: "alloc_tensor" })?;
+        if self.name.is_some() {
+            self.in_flight += 1;
+            self.occupancy.push((t.ready, self.in_flight));
+        }
+        Ok(t)
     }
 
     /// Publishes a produced tensor to the consumer side.
@@ -95,16 +125,28 @@ impl<T: Element> TQue<T> {
     /// simulated time at which the consumer finished reading it.
     pub fn free_tensor(&mut self, mut t: LocalTensor<T>, release: EventTime) {
         t.ready = t.ready.max(release);
+        if self.name.is_some() {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            self.occupancy.push((release, self.in_flight));
+        }
         self.free.push_back(t);
     }
 
     /// Releases the queue's scratchpad reservation. All buffers must have
-    /// been returned to the pool.
+    /// been returned to the pool. A named queue flushes its occupancy
+    /// samples to the core's profile counter sink here.
     pub fn destroy(mut self, core: &mut Core<'_>) -> SimResult<()> {
         if self.free.len() != self.depth {
             return Err(SimError::QueueDestroyLive {
                 in_flight: self.depth - self.free.len(),
             });
+        }
+        if let Some(name) = self.name {
+            if core.profiling() {
+                for (time, value) in self.occupancy.drain(..) {
+                    core.push_counter(name, time, value);
+                }
+            }
         }
         while let Some(t) = self.free.pop_front() {
             core.free_local(t)?;

@@ -3,14 +3,25 @@
 //!
 //! ```text
 //! figures [fig3|fig5|fig8|fig9|fig10|fig11|fig12|fig13|speedup|topk|all] [--quick]
+//! figures --json [--quick]
 //! ```
 //!
 //! `--quick` shrinks the sweeps (for smoke tests); the default sweeps
 //! match the paper's ranges where feasible.
+//!
+//! `--json` skips the tables and instead writes `BENCH_scan.json`: one
+//! machine-readable `bench-scan/v1` document with a full
+//! [`KernelReport`] (cycles, bandwidth, per-engine busy/stall
+//! breakdown, per-round barrier waits) for every paper scan kernel at a
+//! fixed large input length. The document is validated with
+//! [`bench::validate_json`] before it is written.
 
 use ascend_sim::{ChipSpec, KernelReport};
 use ascendc::GlobalTensor;
-use bench::{baseline_top_p, fresh_gm, human, sweep, synth_f16, synth_mask, synth_probs, Table};
+use bench::{
+    baseline_top_p, fresh_gm, human, sweep, synth_f16, synth_mask, synth_probs, validate_json,
+    Table,
+};
 use dtypes::F16;
 use ops::{baselines, compress, radix_sort, topk, SortOrder};
 use scan::ablation::{mcscan_variant, McScanVariant};
@@ -27,6 +38,10 @@ fn main() {
         .unwrap_or("all");
 
     let spec = ChipSpec::ascend_910b4();
+    if args.iter().any(|a| a == "--json") {
+        json_report(&spec, quick);
+        return;
+    }
     println!(
         "chip: {} ({} cube cores, {} vector cores, {:.0} GB/s HBM)\n",
         spec.name,
@@ -77,6 +92,98 @@ fn main() {
 
 fn us(r: &KernelReport) -> String {
     format!("{:.1}", r.time_us())
+}
+
+/// `--json`: runs every paper scan kernel once at a fixed input length
+/// and writes the structured `bench-scan/v1` report to `BENCH_scan.json`.
+fn json_report(spec: &ChipSpec, quick: bool) {
+    let n: usize = if quick { 1 << 18 } else { 1 << 22 };
+    let batch = 8usize;
+    let s = 128usize;
+    println!("collecting kernel reports at N = {} ...", human(n));
+
+    let mut reports: Vec<KernelReport> = Vec::new();
+    let data = vec![F16::ONE; n];
+    {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        reports.push(cumsum_vec_only(spec, &gm, &x, s, 1).unwrap().report);
+    }
+    {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        reports.push(scanu::<F16, F16>(spec, &gm, &x, s).unwrap().report);
+    }
+    {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        reports.push(scanul1::<F16, F16>(spec, &gm, &x, s).unwrap().report);
+    }
+    {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let mut r = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))
+            .unwrap()
+            .report;
+        r.name = "MCScan(fp16)".into();
+        reports.push(r);
+    }
+    {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &vec![1u8; n]).unwrap();
+        let mut r = mcscan::<u8, i16, i32>(spec, &gm, &x, McScanConfig::for_chip(spec))
+            .unwrap()
+            .report;
+        r.name = "MCScan(int8)".into();
+        reports.push(r);
+    }
+    {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        reports.push(
+            batched_scanu::<F16, F16>(spec, &gm, &x, batch, n / batch, s)
+                .unwrap()
+                .report,
+        );
+    }
+    {
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        reports.push(
+            batched_scanul1::<F16, F16>(spec, &gm, &x, batch, n / batch, s)
+                .unwrap()
+                .report,
+        );
+    }
+
+    let kernels: Vec<String> = reports.iter().map(|r| r.to_json(spec)).collect();
+    let doc = format!(
+        "{{\"schema\":\"bench-scan/v1\",\"chip\":{{\"name\":\"{}\",\"ai_cores\":{},\
+         \"clock_ghz\":{},\"hbm_gbps\":{:.1}}},\"n\":{},\"s\":{},\"kernels\":[{}]}}\n",
+        spec.name,
+        spec.ai_cores,
+        spec.clock_ghz,
+        spec.hbm_bytes_per_sec / 1e9,
+        n,
+        s,
+        kernels.join(",")
+    );
+    validate_json(&doc).expect("BENCH_scan.json must be well-formed JSON");
+    std::fs::write("BENCH_scan.json", &doc).expect("write BENCH_scan.json");
+    println!(
+        "wrote BENCH_scan.json ({} kernels, {} bytes)",
+        reports.len(),
+        doc.len()
+    );
+    for r in &reports {
+        println!(
+            "  {:<18} {:>10.1} us  {:>7.0} GB/s  {:>5.1}% of peak",
+            r.name,
+            r.time_us(),
+            r.gbps(),
+            r.fraction_of_peak(spec) * 100.0
+        );
+    }
 }
 
 /// Fig. 3 — single-core execution time: CumSum (vector-only) vs ScanU vs

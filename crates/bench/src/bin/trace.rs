@@ -1,19 +1,29 @@
-//! Exports a chrome://tracing timeline of a kernel's simulated schedule.
+//! Exports a chrome://tracing / Perfetto timeline of the *real* scan
+//! kernels' simulated schedules.
 //!
 //! ```text
-//! trace [scanu|scanul1|mcscan|cumsum] [N] [out.json]
+//! trace [scanu|scanul1|mcscan|cumsum|batched|all] [N] [out.json]
 //! ```
 //!
-//! Open the produced JSON at `chrome://tracing` or https://ui.perfetto.dev
-//! to see how the cube, vector, MTE and scalar engines of every core
-//! overlap — the double-buffered pipelines of Fig. 2 and the two phases
-//! of Fig. 6 are directly visible.
+//! The kernels run through their normal public entry points under
+//! [`ascend_sim::prof::with_profiling`], so the trace shows exactly what
+//! a measurement run executes: named phase spans ("Phase I", "SyncAll",
+//! "VecPropagation"), per-tile spans with bytes/kind/queue-depth args,
+//! per-engine busy intervals interleaved with `wait:dep` /
+//! `wait:barrier` stall intervals, and `TQue` occupancy counters. Open
+//! the produced JSON at <https://ui.perfetto.dev> (or chrome://tracing)
+//! — the double-buffered pipelines of Fig. 2 and the two phases of
+//! Fig. 6 are directly visible.
 
-use ascend_sim::trace::to_chrome_json;
-use ascend_sim::ChipSpec;
+use ascend_sim::prof::{self, KernelProfile};
+use ascend_sim::{ChipSpec, EngineKind};
 use ascendc::GlobalTensor;
 use bench::fresh_gm;
 use dtypes::F16;
+use scan::mcscan::{mcscan, McScanConfig};
+use scan::{batched_scanu, cumsum_vec_only, scanu, scanul1};
+
+const KERNELS: &[&str] = &["scanu", "scanul1", "mcscan", "cumsum", "batched"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,121 +32,103 @@ fn main() {
     let default_out = format!("{kernel}_trace.json");
     let out = args.get(2).map(String::as_str).unwrap_or(&default_out);
 
-    let spec = ChipSpec::ascend_910b4();
-    let gm = fresh_gm(&spec);
-    let data = vec![F16::ONE; n];
-    let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-    let y = GlobalTensor::<F16>::new(&gm, n).unwrap();
-
-    // Re-drive the kernels through launch_traced. The scan crate's
-    // public entry points use the untraced launcher, so the trace binary
-    // exercises representative inline kernels instead: a copy pipeline
-    // and the MCScan phases give the most instructive timelines.
-    let (report, events) = match kernel {
-        "copy" | "cumsum" | "scanu" | "scanul1" | "mcscan" => {
-            trace_mcscan_like(&spec, &gm, &x, &y, kernel)
-        }
+    let chosen: Vec<&str> = match kernel {
+        "all" => KERNELS.to_vec(),
+        k if KERNELS.contains(&k) => vec![k],
         other => {
-            eprintln!("unknown kernel '{other}' (try mcscan | copy)");
+            eprintln!(
+                "unknown kernel '{other}' (try {} | all)",
+                KERNELS.join(" | ")
+            );
             std::process::exit(2);
         }
     };
 
-    let json = to_chrome_json(&events, spec.clock_ghz);
+    let spec = ChipSpec::ascend_910b4();
+    let ((), profile) = prof::with_profiling(|| {
+        for k in &chosen {
+            run_kernel(&spec, k, n);
+        }
+    });
+
+    for k in &profile.kernels {
+        print_summary(k);
+    }
+
+    let json = profile.to_chrome_json();
+    bench::validate_json(&json).expect("trace export must be well-formed JSON");
     std::fs::write(out, &json).expect("write trace file");
     println!(
-        "{kernel} over {n} elements: {:.1} us simulated, {} events -> {out}",
-        report.time_us(),
-        events.len()
+        "{} kernel(s) over {n} elements -> {out} ({} bytes)",
+        profile.kernels.len(),
+        json.len()
     );
-    println!("open chrome://tracing (or https://ui.perfetto.dev) and load the file");
+    println!("open https://ui.perfetto.dev (or chrome://tracing) and load the file");
 }
 
-/// A representative cube+vector pipeline: tile-local scans on the cube
-/// (A @ U_s), per-row partial propagation on the vector cores — MCScan's
-/// phase structure with full tracing.
-fn trace_mcscan_like(
-    spec: &ChipSpec,
-    gm: &std::sync::Arc<ascend_sim::mem::GlobalMemory>,
-    x: &GlobalTensor<F16>,
-    y: &GlobalTensor<F16>,
-    kernel: &str,
-) -> (ascend_sim::KernelReport, Vec<ascend_sim::TraceEvent>) {
-    use ascendc::ScratchpadKind;
-    use scan::triangular::upper_ones;
-
-    let s = 128usize;
-    let l = s * s;
-    let n = x.len();
-    let u = GlobalTensor::from_slice(gm, &upper_ones::<F16>(s)).unwrap();
-    let blocks = if kernel == "copy" {
-        spec.ai_cores
-    } else {
-        4.min(spec.ai_cores)
-    };
-
-    ascendc::launch_traced(spec, gm, blocks, kernel, |ctx| {
-        let nblocks = ctx.block_dim as usize;
-        let block = ctx.block_idx as usize;
-        let tiles: Vec<(usize, usize)> = {
-            let mut v = Vec::new();
-            let mut off = 0;
-            while off < n {
-                let valid = l.min(n - off);
-                v.push((off, valid));
-                off += valid;
-            }
-            v
-        };
-        // Cube: tile-local scans for this block's tiles.
-        let mut evs = vec![0; tiles.len()];
-        {
-            let cube = &mut ctx.cube;
-            let mut lb = cube.alloc_local::<F16>(ScratchpadKind::L0B, l)?;
-            cube.copy_in(&mut lb, 0, &u, 0, l, &[])?;
-            let mut qa = ascendc::TQue::<F16>::new(cube, ScratchpadKind::L0A, 2, l)?;
-            let mut qc = ascendc::TQue::<f32>::new(cube, ScratchpadKind::L0C, 2, l)?;
-            for (t, &(off, valid)) in tiles.iter().enumerate() {
-                if t % nblocks != block {
-                    continue;
-                }
-                let rows = valid.div_ceil(s);
-                let mut la = qa.alloc_tensor()?;
-                if valid < rows * s {
-                    cube.fill_local(&mut la, 0, rows * s, F16::ZERO)?;
-                }
-                cube.copy_in(&mut la, 0, x, off, valid, &[])?;
-                let mut lc = qc.alloc_tensor()?;
-                let mm = cube.mmad::<F16>(&mut lc, &mut la, &mut lb, rows, s, s, false)?;
-                qa.free_tensor(la, mm);
-                let ev = cube.copy_out_cast::<f32, F16>(y, off, &lc, 0, valid, &[])?;
-                qc.free_tensor(lc, ev);
-                evs[t] = ev;
-            }
+/// Runs one scan kernel through its public entry point on a fresh device.
+fn run_kernel(spec: &ChipSpec, kernel: &str, n: usize) {
+    let gm = fresh_gm(spec);
+    let data = vec![F16::ONE; n];
+    let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+    match kernel {
+        "scanu" => drop(scanu::<F16, F16>(spec, &gm, &x, 128).unwrap()),
+        "scanul1" => drop(scanul1::<F16, F16>(spec, &gm, &x, 128).unwrap()),
+        "mcscan" => {
+            drop(mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec)).unwrap())
         }
-        // Vector: in-place partial propagation of the same tiles.
-        for (t, &(off, valid)) in tiles.iter().enumerate() {
-            if t % nblocks != block {
-                continue;
-            }
-            let vc = &mut ctx.vecs[t % 2];
-            let mut buf = vc.alloc_local::<F16>(ScratchpadKind::Ub, l)?;
-            vc.copy_in(&mut buf, 0, y, off, valid, &[evs[t]])?;
-            let mut partial = F16::ZERO;
-            let mut pr = 0;
-            let mut ro = 0;
-            while ro < valid {
-                let rl = s.min(valid - ro);
-                vc.vadds(&mut buf, ro, rl, partial, pr)?;
-                let (p, r) = vc.extract(&buf, ro + rl - 1)?;
-                partial = p;
-                pr = r;
-                ro += rl;
-            }
-            vc.copy_out(y, off, &buf, 0, valid, &[])?;
-            vc.free_local(buf)?;
+        "cumsum" => drop(cumsum_vec_only::<F16>(spec, &gm, &x, 128, 1).unwrap()),
+        "batched" => {
+            // Spread a fixed batch over the cores; pad N up to a multiple.
+            let batch = 8usize;
+            let len = n.div_ceil(batch).max(1);
+            let gm = fresh_gm(spec);
+            let data = vec![F16::ONE; batch * len];
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            drop(batched_scanu::<F16, F16>(spec, &gm, &x, batch, len, 128).unwrap());
         }
-        Ok(())
-    })
-    .expect("traced launch")
+        other => unreachable!("unvalidated kernel {other}"),
+    }
+}
+
+/// Prints a per-engine busy/stall breakdown for one profiled launch.
+fn print_summary(k: &KernelProfile) {
+    let us = k.cycles as f64 / (k.clock_ghz.max(f64::MIN_POSITIVE) * 1e3);
+    println!(
+        "{}: {} blocks, {} cycles ({:.1} us), {} events, {} spans, {} stall intervals",
+        k.name,
+        k.blocks,
+        k.cycles,
+        us,
+        k.events.len(),
+        k.spans.len(),
+        k.stall_events.len(),
+    );
+    let mut busy = [0u64; EngineKind::ALL.len()];
+    for e in &k.events {
+        busy[e.engine.index()] += e.end.saturating_sub(e.start);
+    }
+    println!(
+        "  {:<8} {:>14} {:>14} {:>14} {:>14}",
+        "engine", "busy", "dep-wait", "barrier-wait", "contention"
+    );
+    for engine in EngineKind::ALL {
+        let i = engine.index();
+        let (d, c, b) = (
+            k.stalls.dependency[i],
+            k.stalls.contention[i],
+            k.stalls.barrier[i],
+        );
+        if busy[i] == 0 && d == 0 && c == 0 && b == 0 {
+            continue;
+        }
+        println!(
+            "  {:<8} {:>14} {:>14} {:>14} {:>14}",
+            engine.name(),
+            busy[i],
+            d,
+            b,
+            c
+        );
+    }
 }

@@ -187,6 +187,229 @@ pub fn batched_cumsum_baseline(
     Ok(report)
 }
 
+/// Validates that `s` is one well-formed JSON document (std-only
+/// recursive-descent check, no external parser). Used by the `figures
+/// --json` path and CI to guarantee `BENCH_scan.json` and the trace
+/// exports parse before anything downstream consumes them.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = JsonChecker {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+struct JsonChecker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl JsonChecker<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > 256 {
+            return Err("nesting too deep".into());
+        }
+        let r = match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                                    return Err(format!("bad \\u escape at byte {}", self.pos));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|c| c as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(format!("raw control byte 0x{c:02x} in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("bad fraction at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("bad exponent at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The PyTorch-baseline top-p pipeline the paper's Fig. 13 measures:
 /// `torch.sort` + `torch.cumsum` + threshold + `torch.multinomial`,
 /// composed from the modeled baseline operators.
@@ -265,6 +488,51 @@ mod tests {
         let (token, report) = baseline_top_p(&spec, &gm, &t, 0.9, 0.5).unwrap();
         assert!((token as usize) < 500);
         assert!(report.time_us() > 0.0);
+    }
+
+    #[test]
+    fn validate_json_accepts_well_formed_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            r#"{"schema":"bench-scan/v1","kernels":[{"name":"MCScan","cycles":123,
+                "time_us":4.5,"engines":{"CUBE":{"busy_cycles":7}},"ok":true,
+                "barrier_wait_cycles":[1,2,3],"esc":"a\"b\\cé\n"}]}"#,
+        ] {
+            assert!(validate_json(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn validate_json_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":1} extra",
+            "\"unterminated",
+            "\"bad\\escape\"",
+            "{\"raw\":\"a\nb\"}",
+            "01x",
+            "1.e5",
+            "nulll",
+        ] {
+            assert!(validate_json(doc).is_err(), "should reject: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn validate_json_accepts_a_real_kernel_report() {
+        let spec = ChipSpec::tiny();
+        let gm = fresh_gm(&spec);
+        let probs = synth_probs(300, 11);
+        let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
+        let (_, report) = ops::baselines::cumsum::<F16>(&spec, &gm, &t).unwrap();
+        validate_json(&report.to_json(&spec)).expect("KernelReport::to_json is valid JSON");
     }
 
     #[test]

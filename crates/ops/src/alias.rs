@@ -168,6 +168,8 @@ pub fn build_alias_table(
         engine_busy: [0; 7],
         engine_instructions: [0; 7],
         sync_rounds: 0,
+        stalls: Default::default(),
+        barrier_waits: Vec::new(),
     };
     pairing.engine_busy[EngineKind::Scalar.index()] = pairing_cycles;
 

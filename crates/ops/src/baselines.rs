@@ -68,6 +68,8 @@ fn modeled_report(
         engine_busy: [0; 7],
         engine_instructions: [0; 7],
         sync_rounds: 0,
+        stalls: Default::default(),
+        barrier_waits: Vec::new(),
     }
 }
 

@@ -58,6 +58,8 @@ pub fn compress<E: Element>(
                 engine_busy: [0; 7],
                 engine_instructions: [0; 7],
                 sync_rounds: 0,
+                stalls: Default::default(),
+                barrier_waits: Vec::new(),
             },
         });
     }

@@ -127,6 +127,8 @@ fn empty_report(spec: &ChipSpec) -> KernelReport {
         engine_busy: [0; 7],
         engine_instructions: [0; 7],
         sync_rounds: 0,
+        stalls: Default::default(),
+        barrier_waits: Vec::new(),
     }
 }
 

@@ -13,7 +13,9 @@
 use crate::util::tile_spans;
 use crate::{finish_report, ScanRun};
 use ascend_sim::mem::GlobalMemory;
-use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
+use ascendc::{
+    launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, SpanArgs, TQue,
+};
 use dtypes::Numeric;
 use std::sync::Arc;
 
@@ -52,12 +54,14 @@ pub fn cumsum_vec_only<T: Numeric>(
     let spans = tile_spans(n, l);
 
     let mut report = launch(spec, gm, 1, "CumSum(vec-only)", |ctx| {
+        let phase = ctx.span_begin("VecOnlyScan");
         let v = &mut ctx.vecs[0];
-        let mut q = TQue::<T>::new(v, ScratchpadKind::Ub, 2, l)?;
+        let mut q = TQue::<T>::new(v, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
         let mut tmp = v.alloc_local::<T>(ScratchpadKind::Ub, s)?;
         let mut partial = T::zero();
         let mut partial_ready = 0;
         for &(off, valid) in &spans {
+            let tile = v.span_begin("tile");
             let mut buf = q.alloc_tensor()?;
             v.copy_in(&mut buf, 0, x, off, valid, &[])?;
             for (row_off, row_len) in tile_spans(valid, s) {
@@ -83,7 +87,19 @@ pub fn cumsum_vec_only<T: Numeric>(
             }
             let ev = v.copy_out(&y, off, &buf, 0, valid, &[])?;
             q.free_tensor(buf, ev);
+            v.span_args(
+                tile,
+                SpanArgs {
+                    bytes: (2 * valid * T::SIZE) as u64,
+                    kind: "hillis-steele",
+                    queue_depth: 2,
+                },
+            );
+            v.span_end_at(tile, ev);
         }
+        v.free_local(tmp)?;
+        q.destroy(v)?;
+        ctx.span_end(phase);
         Ok(())
     })?;
 

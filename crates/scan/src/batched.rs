@@ -20,7 +20,9 @@ use crate::triangular::ScanConstants;
 use crate::util::tile_spans;
 use crate::{finish_report, ScanRun};
 use ascend_sim::mem::GlobalMemory;
-use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
+use ascendc::{
+    launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, SpanArgs, TQue,
+};
 use dtypes::{CubeInput, Numeric};
 use std::sync::Arc;
 
@@ -80,14 +82,15 @@ where
         let my_pairs: Vec<usize> = (block..pairs).step_by(nblocks).collect();
 
         // ---- Cube core: interleave the pair's rows tile by tile. ----
+        let phase = ctx.span_begin("CubePairedTileScans");
         let mut done: Vec<Vec<Vec<ascendc::EventTime>>> =
             vec![vec![Vec::new(); vec_per_core]; my_pairs.len()];
         {
             let cube = &mut ctx.cube;
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
             cube.copy_in(&mut lb, 0, &consts.upper, 0, l, &[])?;
-            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, 2, l)?;
-            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, 2, l)?;
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, 2, l)?.named("qa(L0A)");
+            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, 2, l)?.named("qc(L0C)");
             for (pi, &pair) in my_pairs.iter().enumerate() {
                 for &(off, valid) in &spans {
                     for lane in 0..vec_per_core.min(2) {
@@ -97,6 +100,7 @@ where
                         }
                         let base = row * len;
                         let rows = valid.div_ceil(s);
+                        let tile = cube.span_begin("tile");
                         let mut la = qa.alloc_tensor()?;
                         if valid < rows * s {
                             cube.fill_local(&mut la, 0, rows * s, T::zero())?;
@@ -108,16 +112,30 @@ where
                         let ev =
                             cube.copy_out_cast::<T::Acc, O>(&y, base + off, &lc, 0, valid, &[])?;
                         qc.free_tensor(lc, ev);
+                        cube.span_args(
+                            tile,
+                            SpanArgs {
+                                bytes: (valid * (T::SIZE + O::SIZE)) as u64,
+                                kind: "mmad",
+                                queue_depth: 2,
+                            },
+                        );
+                        cube.span_end_at(tile, ev);
                         done[pi][lane].push(ev);
                     }
                 }
             }
+            cube.free_local(lb)?;
+            qa.destroy(cube)?;
+            qc.destroy(cube)?;
         }
+        ctx.span_end(phase);
 
         // ---- Vector cores: one row of each pair per core. ----
+        let phase = ctx.span_begin("VecPropagation");
         for lane in 0..vec_per_core.min(2) {
             let vc = &mut ctx.vecs[lane];
-            let mut q = TQue::<O>::new(vc, ScratchpadKind::Ub, 2, l)?;
+            let mut q = TQue::<O>::new(vc, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             for (pi, &pair) in my_pairs.iter().enumerate() {
                 let row = pair * 2 + lane;
                 if row >= batch {
@@ -127,6 +145,7 @@ where
                 let mut partial = O::zero();
                 let mut partial_ready = 0;
                 for (t, &(off, valid)) in spans.iter().enumerate() {
+                    let tile = vc.span_begin("tile");
                     let mut buf = q.alloc_tensor()?;
                     vc.copy_in(&mut buf, 0, &y, base + off, valid, &[done[pi][lane][t]])?;
                     for (row_off, row_len) in tile_spans(valid, s) {
@@ -137,9 +156,20 @@ where
                     }
                     let ev = vc.copy_out(&y, base + off, &buf, 0, valid, &[])?;
                     q.free_tensor(buf, ev);
+                    vc.span_args(
+                        tile,
+                        SpanArgs {
+                            bytes: (2 * valid * O::SIZE) as u64,
+                            kind: "vadds",
+                            queue_depth: 2,
+                        },
+                    );
+                    vc.span_end_at(tile, ev);
                 }
             }
+            q.destroy(vc)?;
         }
+        ctx.span_end(phase);
         Ok(())
     })?;
 
@@ -173,6 +203,7 @@ where
         let nblocks = ctx.block_dim as usize;
         let my_rows: Vec<usize> = (block..batch).step_by(nblocks).collect();
 
+        let phase = ctx.span_begin("CubeThreeMatmuls");
         let mut done = vec![Vec::with_capacity(spans.len()); my_rows.len()];
         {
             let cube = &mut ctx.cube;
@@ -183,7 +214,7 @@ where
             cube.copy_in(&mut l1_lm, 0, &consts.strict_lower, 0, l, &[])?;
             cube.copy_in(&mut l1_ones, 0, &consts.ones, 0, l, &[])?;
             let mut l1_c1 = cube.alloc_local::<T>(ScratchpadKind::L1, l)?;
-            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, 2, l)?;
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, 2, l)?.named("qa(L0A)");
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
             let mut c1 = cube.alloc_local::<T::Acc>(ScratchpadKind::L0C, l)?;
             let mut c2 = cube.alloc_local::<T::Acc>(ScratchpadKind::L0C, l)?;
@@ -191,6 +222,7 @@ where
             for (ri, &row) in my_rows.iter().enumerate() {
                 let base = row * len;
                 for &(off, valid) in &spans {
+                    let tile = cube.span_begin("tile");
                     let mut la = qa.alloc_tensor()?;
                     if valid < l {
                         cube.fill_local(&mut la, 0, l, T::zero())?;
@@ -212,22 +244,38 @@ where
                     qa.free_tensor(la2, mm3);
 
                     let ev = cube.copy_out_cast::<T::Acc, O>(&y, base + off, &c2, 0, valid, &[])?;
+                    cube.span_args(
+                        tile,
+                        SpanArgs {
+                            bytes: (valid * (T::SIZE + O::SIZE)) as u64,
+                            kind: "mmad3",
+                            queue_depth: 2,
+                        },
+                    );
+                    cube.span_end_at(tile, ev);
                     done[ri].push(ev);
                 }
             }
+            cube.free_local(c2)?;
+            cube.free_local(c1)?;
+            cube.free_local(lb)?;
+            qa.destroy(cube)?;
         }
+        ctx.span_end(phase);
 
         // One vector core per AI core completes the rows (the second
         // vector core is idle — the schedule's known inefficiency that
         // Fig. 5 exposes for large batch counts).
+        let phase = ctx.span_begin("VecPropagation");
         {
             let vc = &mut ctx.vecs[0];
-            let mut q = TQue::<O>::new(vc, ScratchpadKind::Ub, 2, l)?;
+            let mut q = TQue::<O>::new(vc, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             for (ri, &row) in my_rows.iter().enumerate() {
                 let base = row * len;
                 let mut partial = O::zero();
                 let mut partial_ready = 0;
                 for (t, &(off, valid)) in spans.iter().enumerate() {
+                    let tile = vc.span_begin("tile");
                     let mut buf = q.alloc_tensor()?;
                     vc.copy_in(&mut buf, 0, &y, base + off, valid, &[done[ri][t]])?;
                     vc.vadds(&mut buf, 0, valid, partial, partial_ready)?;
@@ -236,9 +284,20 @@ where
                     partial_ready = pr;
                     let ev = vc.copy_out(&y, base + off, &buf, 0, valid, &[])?;
                     q.free_tensor(buf, ev);
+                    vc.span_args(
+                        tile,
+                        SpanArgs {
+                            bytes: (2 * valid * O::SIZE) as u64,
+                            kind: "vadds",
+                            queue_depth: 2,
+                        },
+                    );
+                    vc.span_end_at(tile, ev);
                 }
             }
+            q.destroy(vc)?;
         }
+        ctx.span_end(phase);
         Ok(())
     })?;
 

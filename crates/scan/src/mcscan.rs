@@ -24,7 +24,9 @@ use crate::triangular::ScanConstants;
 use crate::util::{partition, tile_spans};
 use crate::{finish_report, ScanRun};
 use ascend_sim::mem::GlobalMemory;
-use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
+use ascendc::{
+    launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, SpanArgs, TQue,
+};
 use dtypes::{CubeInput, Numeric};
 use std::sync::Arc;
 
@@ -123,6 +125,7 @@ where
         let block = ctx.block_idx as usize;
         let vec_per_core = ctx.vecs.len();
         // ---------------- Phase I (Lines 4-14) ----------------
+        let phase1 = ctx.span_begin("Phase I");
         // Cube core: tile-local scans over this block's chunks.
         {
             let cube = &mut ctx.cube;
@@ -140,12 +143,13 @@ where
             } else {
                 1
             };
-            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
-            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?.named("qa(L0A)");
+            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?.named("qc(L0C)");
             for v in 0..vec_per_core {
                 let (t0, tcount) = chunk_tiles[block * vec_per_core + v];
                 for &(off, valid) in &tiles[t0..t0 + tcount] {
                     let rows = valid.div_ceil(s);
+                    let tile = cube.span_begin("tile");
                     let mut la = qa.alloc_tensor()?;
                     if valid < rows * s {
                         cube.fill_local(&mut la, 0, rows * s, T::zero())?;
@@ -156,8 +160,20 @@ where
                     qa.free_tensor(la, mm);
                     let ev = cube.copy_out_cast::<T::Acc, M>(&w, off, &lc, 0, valid, &[])?;
                     qc.free_tensor(lc, ev);
+                    cube.span_args(
+                        tile,
+                        SpanArgs {
+                            bytes: (valid * (T::SIZE + M::SIZE)) as u64,
+                            kind: "mmad",
+                            queue_depth: da as u32,
+                        },
+                    );
+                    cube.span_end_at(tile, ev);
                 }
             }
+            cube.free_local(lb)?;
+            qa.destroy(cube)?;
+            qc.destroy(cube)?;
         }
         // Vector cores: recompute the block (chunk) reductions from x.
         for v in 0..vec_per_core {
@@ -169,11 +185,12 @@ where
             } else {
                 1
             };
-            let mut qin = TQue::<T>::new(vc, ScratchpadKind::Ub, din, l)?;
+            let mut qin = TQue::<T>::new(vc, ScratchpadKind::Ub, din, l)?.named("qin(UB)");
             let mut acc_buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             let mut total = O::zero();
             let mut total_ready = 0;
             for &(off, valid) in &tiles[t0..t0 + tcount] {
+                let tile = vc.span_begin("tile");
                 let mut piece = qin.alloc_tensor()?;
                 vc.copy_in(&mut piece, 0, x, off, valid, &[])?;
                 // Widen to the output domain before reducing (int8 masks
@@ -183,6 +200,15 @@ where
                 let (sum, ready) = vc.reduce_sum(&acc_buf, 0, valid)?;
                 total = total.add(sum);
                 total_ready = vc.scalar_ops(1, &[ready, total_ready])?;
+                vc.span_args(
+                    tile,
+                    SpanArgs {
+                        bytes: (valid * T::SIZE) as u64,
+                        kind: "reduce",
+                        queue_depth: din as u32,
+                    },
+                );
+                vc.span_end_at(tile, total_ready);
             }
             // Write r[chunk] (Line 13).
             let mut one = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
@@ -192,11 +218,13 @@ where
             vc.free_local(acc_buf)?;
             qin.destroy(vc)?;
         }
+        ctx.span_end(phase1);
 
         // ---------------- SyncAll (Line 15) ----------------
         ctx.sync_all();
 
         // ---------------- Phase II (Lines 16-26) ----------------
+        let phase2 = ctx.span_begin("Phase II");
         for v in 0..vec_per_core {
             let chunk = block * vec_per_core + v;
             let (t0, tcount) = chunk_tiles[chunk];
@@ -221,10 +249,11 @@ where
             } else {
                 1
             };
-            let mut q = TQue::<M>::new(vc, ScratchpadKind::Ub, depth, l)?;
+            let mut q = TQue::<M>::new(vc, ScratchpadKind::Ub, depth, l)?.named("q(UB)");
             let mut buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             let mut boundary = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
             for &(off, valid) in &tiles[t0..t0 + tcount] {
+                let tile = vc.span_begin("tile");
                 let mut piece = q.alloc_tensor()?;
                 vc.copy_in(&mut piece, 0, &w, off, valid, &[])?;
                 let cast_done = vc.vcast::<M, O>(&mut buf, &piece, 0, valid)?;
@@ -245,24 +274,34 @@ where
                     partial = p;
                     partial_ready = pr;
                 }
-                match cfg.kind {
-                    ScanKind::Inclusive => {
-                        vc.copy_out(&y, off, &buf, 0, valid, &[])?;
-                    }
+                let out_done = match cfg.kind {
+                    ScanKind::Inclusive => vc.copy_out(&y, off, &buf, 0, valid, &[])?,
                     ScanKind::Exclusive => {
                         // Shift right by one within the tile; the tile's
                         // last inclusive value is carried to the next
                         // tile through `partial` instead of the store.
                         if valid > 1 {
-                            vc.copy_out(&y, off + 1, &buf, 0, valid - 1, &[])?;
+                            vc.copy_out(&y, off + 1, &buf, 0, valid - 1, &[])?
+                        } else {
+                            partial_ready
                         }
                     }
-                }
+                };
+                vc.span_args(
+                    tile,
+                    SpanArgs {
+                        bytes: (valid * (M::SIZE + O::SIZE)) as u64,
+                        kind: "propagate",
+                        queue_depth: depth as u32,
+                    },
+                );
+                vc.span_end_at(tile, out_done);
             }
             vc.free_local(boundary)?;
             vc.free_local(buf)?;
             q.destroy(vc)?;
         }
+        ctx.span_end(phase2);
         Ok(())
     })?;
 

@@ -21,7 +21,9 @@ use crate::triangular::ScanConstants;
 use crate::util::{partition, tile_spans};
 use ascend_sim::mem::GlobalMemory;
 use ascend_sim::KernelReport;
-use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
+use ascendc::{
+    launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, SpanArgs, TQue,
+};
 use dtypes::{CubeInput, Element, Numeric};
 use std::sync::Arc;
 
@@ -77,6 +79,7 @@ where
         // Cube: row sums per tile; FIXP writes only the first column
         // (s values per tile instead of s^2 — the reduction's traffic
         // advantage over scan).
+        let phase = ctx.span_begin("CubeRowSums");
         let mut evs_per_chunk: Vec<Vec<ascendc::EventTime>> = vec![Vec::new(); vec_per_core];
         {
             let cube = &mut ctx.cube;
@@ -92,12 +95,13 @@ where
             } else {
                 1
             };
-            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
-            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?.named("qa(L0A)");
+            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?.named("qc(L0C)");
             for v in 0..vec_per_core {
                 let (t0, tcount) = chunk_tiles[block * vec_per_core + v];
                 for (ti, &(off, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
                     let rows = valid.div_ceil(s);
+                    let tile = cube.span_begin("tile");
                     let mut la = qa.alloc_tensor()?;
                     if valid < rows * s {
                         cube.fill_local(&mut la, 0, rows * s, T::zero())?;
@@ -110,10 +114,24 @@ where
                     // FIXP copy extracts it (s values instead of s^2).
                     let ev = cube.copy_out_2d(&cols, (t0 + ti) * s, &lc, 0, rows, 1, s, &[])?;
                     qc.free_tensor(lc, ev);
+                    cube.span_args(
+                        tile,
+                        SpanArgs {
+                            bytes: (valid * T::SIZE + rows * <T::Acc as Element>::SIZE) as u64,
+                            kind: "mmad",
+                            queue_depth: da as u32,
+                        },
+                    );
+                    cube.span_end_at(tile, ev);
                     evs_per_chunk[v].push(ev);
                 }
             }
+            cube.free_local(lb)?;
+            qa.destroy(cube)?;
+            qc.destroy(cube)?;
         }
+        ctx.span_end(phase);
+        let phase = ctx.span_begin("VecAccumulate");
         // Vector cores: accumulate each chunk's row-sum columns.
         // (Index loop: `v` addresses ctx.vecs, evs_per_chunk, and the
         // chunk id at once.)
@@ -145,6 +163,7 @@ where
             vc.free_local(one)?;
             vc.free_local(buf)?;
         }
+        ctx.span_end(phase);
         ctx.sync_all();
         // Final: block 0's first vector core folds the chunk partials.
         if ctx.block_idx == 0 {
@@ -198,11 +217,12 @@ where
     let mut report = launch(spec, gm, blocks, "ReduceVec", |ctx| {
         let block = ctx.block_idx as usize;
         let vec_per_core = ctx.vecs.len();
+        let phase = ctx.span_begin("VecReduce");
         for v in 0..vec_per_core {
             let chunk = block * vec_per_core + v;
             let (s0, scount) = chunk_spans[chunk];
             let vc = &mut ctx.vecs[v];
-            let mut qin = TQue::<T>::new(vc, ScratchpadKind::Ub, 2, piece)?;
+            let mut qin = TQue::<T>::new(vc, ScratchpadKind::Ub, 2, piece)?.named("qin(UB)");
             let mut acc = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, piece)?;
             let mut total = T::Acc::zero();
             let mut total_ready = 0;
@@ -222,6 +242,7 @@ where
             vc.free_local(acc)?;
             qin.destroy(vc)?;
         }
+        ctx.span_end(phase);
         ctx.sync_all();
         if ctx.block_idx == 0 {
             let vc = &mut ctx.vecs[0];

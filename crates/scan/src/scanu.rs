@@ -12,7 +12,9 @@ use crate::triangular::ScanConstants;
 use crate::util::tile_spans;
 use crate::{finish_report, ScanRun};
 use ascend_sim::mem::GlobalMemory;
-use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
+use ascendc::{
+    launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, SpanArgs, TQue,
+};
 use dtypes::{CubeInput, Numeric};
 use std::sync::Arc;
 
@@ -45,6 +47,7 @@ where
 
     let mut report = launch(spec, gm, 1, "ScanU", |ctx| {
         // ---- Cube core: local row scans per tile (Lines 4-8). ----
+        let phase = ctx.span_begin("CubeLocalScans");
         let mut cube_done = Vec::with_capacity(spans.len());
         {
             let cube = &mut ctx.cube;
@@ -62,10 +65,11 @@ where
             } else {
                 1
             };
-            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
-            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?.named("qa(L0A)");
+            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?.named("qc(L0C)");
             for &(off, valid) in &spans {
                 let rows = valid.div_ceil(s);
+                let tile = cube.span_begin("tile");
                 let mut la = qa.alloc_tensor()?;
                 if valid < rows * s {
                     // Zero-pad the recycled buffer's tail row.
@@ -77,17 +81,32 @@ where
                 qa.free_tensor(la, mm);
                 let ev = cube.copy_out_cast::<T::Acc, O>(&y, off, &lc, 0, valid, &[])?;
                 qc.free_tensor(lc, ev);
+                cube.span_args(
+                    tile,
+                    SpanArgs {
+                        bytes: (valid * (T::SIZE + O::SIZE)) as u64,
+                        kind: "mmad",
+                        queue_depth: da as u32,
+                    },
+                );
+                cube.span_end_at(tile, ev);
                 cube_done.push(ev);
             }
+            cube.free_local(lb)?;
+            qa.destroy(cube)?;
+            qc.destroy(cube)?;
         }
+        ctx.span_end(phase);
 
         // ---- Vector core: partial-sum propagation (Lines 9-15). ----
+        let phase = ctx.span_begin("VecPropagation");
         {
             let v = &mut ctx.vecs[0];
-            let mut q = TQue::<O>::new(v, ScratchpadKind::Ub, 2, l)?;
+            let mut q = TQue::<O>::new(v, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             let mut partial = O::zero();
             let mut partial_ready = 0;
             for (t, &(off, valid)) in spans.iter().enumerate() {
+                let tile = v.span_begin("tile");
                 let mut buf = q.alloc_tensor()?;
                 v.copy_in(&mut buf, 0, &y, off, valid, &[cube_done[t]])?;
                 for (row_off, row_len) in tile_spans(valid, s) {
@@ -98,8 +117,19 @@ where
                 }
                 let ev = v.copy_out(&y, off, &buf, 0, valid, &[])?;
                 q.free_tensor(buf, ev);
+                v.span_args(
+                    tile,
+                    SpanArgs {
+                        bytes: (2 * valid * O::SIZE) as u64,
+                        kind: "vadds",
+                        queue_depth: 2,
+                    },
+                );
+                v.span_end_at(tile, ev);
             }
+            q.destroy(v)?;
         }
+        ctx.span_end(phase);
         Ok(())
     })?;
 

@@ -17,7 +17,9 @@ use crate::triangular::ScanConstants;
 use crate::util::tile_spans;
 use crate::{finish_report, ScanRun};
 use ascend_sim::mem::GlobalMemory;
-use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
+use ascendc::{
+    launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, SpanArgs, TQue,
+};
 use dtypes::{CubeInput, Numeric};
 use std::sync::Arc;
 
@@ -50,6 +52,7 @@ where
     let spans = tile_spans(n, l);
 
     let mut report = launch(spec, gm, 1, "ScanUL1", |ctx| {
+        let phase = ctx.span_begin("CubeThreeMatmuls");
         let mut cube_done = Vec::with_capacity(spans.len());
         {
             let cube = &mut ctx.cube;
@@ -67,12 +70,13 @@ where
             // serialization the paper's Lines 6/9/11 imply); L0A holds
             // the data tile and is then reused for L^-; two L0C
             // accumulators hold C1 and C2.
-            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, 2, l)?;
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, 2, l)?.named("qa(L0A)");
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
             let mut c1 = cube.alloc_local::<T::Acc>(ScratchpadKind::L0C, l)?;
             let mut c2 = cube.alloc_local::<T::Acc>(ScratchpadKind::L0C, l)?;
 
             for &(off, valid) in &spans {
+                let tile = cube.span_begin("tile");
                 // Load x_l to L0A, zero-padding a partial tile (Line 6).
                 let mut la = qa.alloc_tensor()?;
                 if valid < l {
@@ -99,17 +103,33 @@ where
 
                 // Copy C2 to y in GM (Line 13).
                 let ev = cube.copy_out_cast::<T::Acc, O>(&y, off, &c2, 0, valid, &[])?;
+                cube.span_args(
+                    tile,
+                    SpanArgs {
+                        bytes: (valid * (T::SIZE + O::SIZE)) as u64,
+                        kind: "mmad3",
+                        queue_depth: 2,
+                    },
+                );
+                cube.span_end_at(tile, ev);
                 cube_done.push(ev);
             }
+            cube.free_local(c2)?;
+            cube.free_local(c1)?;
+            cube.free_local(lb)?;
+            qa.destroy(cube)?;
         }
+        ctx.span_end(phase);
 
         // ---- Vector core: one partial add per tile (Lines 14-18). ----
+        let phase = ctx.span_begin("VecPropagation");
         {
             let v = &mut ctx.vecs[0];
-            let mut q = TQue::<O>::new(v, ScratchpadKind::Ub, 2, l)?;
+            let mut q = TQue::<O>::new(v, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             let mut partial = O::zero();
             let mut partial_ready = 0;
             for (t, &(off, valid)) in spans.iter().enumerate() {
+                let tile = v.span_begin("tile");
                 let mut buf = q.alloc_tensor()?;
                 v.copy_in(&mut buf, 0, &y, off, valid, &[cube_done[t]])?;
                 v.vadds(&mut buf, 0, valid, partial, partial_ready)?;
@@ -118,8 +138,19 @@ where
                 partial_ready = pr;
                 let ev = v.copy_out(&y, off, &buf, 0, valid, &[])?;
                 q.free_tensor(buf, ev);
+                v.span_args(
+                    tile,
+                    SpanArgs {
+                        bytes: (2 * valid * O::SIZE) as u64,
+                        kind: "vadds",
+                        queue_depth: 2,
+                    },
+                );
+                v.span_end_at(tile, ev);
             }
+            q.destroy(v)?;
         }
+        ctx.span_end(phase);
         Ok(())
     })?;
 

@@ -13,6 +13,26 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> perf report smoke: figures --json + trace"
+# Both binaries self-validate their output with bench::validate_json
+# before writing; CI additionally pins the stable schema keys.
+cargo run --release -p bench --bin figures -- --json --quick
+test -s BENCH_scan.json
+for key in '"schema":"bench-scan/v1"' '"name":' '"cycles":' '"time_us":' \
+    '"gbps":' '"traffic_gbps":' '"gelems":' '"fraction_of_peak":' \
+    '"engines":' '"busy_cycles":' '"stall_dependency":' \
+    '"stall_contention":' '"stall_barrier":' '"barrier_wait_cycles":'; do
+  grep -qF "$key" BENCH_scan.json \
+    || { echo "BENCH_scan.json missing required key $key"; exit 1; }
+done
+cargo run --release -p bench --bin trace -- mcscan 65536 mcscan_trace.json
+test -s mcscan_trace.json
+for key in '"traceEvents"' 'Phase I' 'Phase II' 'SyncAll' 'wait:dep' 'wait:barrier'; do
+  grep -qF "$key" mcscan_trace.json \
+    || { echo "mcscan_trace.json missing $key"; exit 1; }
+done
+rm -f mcscan_trace.json
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
