@@ -82,8 +82,18 @@ pub struct ChipSpec {
     // ---- Kernel-level overheads ----
     /// Cycles charged once per kernel launch (device-side setup).
     pub launch_cycles: u64,
-    /// Cycles charged per `SyncAll` global barrier.
+    /// Release latency of a `SyncAll` global barrier, charged after the
+    /// last participant's arrival flag lands (the barrier itself is built
+    /// from `CrossCoreSetFlag`/`CrossCoreWaitFlag` pairs, priced below).
     pub sync_all_cycles: u64,
+    /// Cycles a `CrossCoreSetFlag` occupies the issuing core's scalar
+    /// pipe: the preceding pipes are drained and the flag write must be
+    /// made visible to the peer core.
+    pub flag_set_cycles: u64,
+    /// Fixed issue cost of a `CrossCoreWaitFlag` on the waiting core's
+    /// scalar pipe. Cycles spent blocked beyond this until the producer's
+    /// set lands are attributed separately as `wait:flag` stall time.
+    pub flag_wait_cycles: u64,
 
     // ---- Validation ----
     /// How much runtime sanitizer checking (`simcheck`) the simulator
@@ -127,7 +137,9 @@ impl ChipSpec {
             l0c_capacity: 128 << 10,
 
             launch_cycles: 9_000,   // ~5 us device-side launch
-            sync_all_cycles: 2_700, // ~1.5 us global barrier
+            sync_all_cycles: 2_700, // ~1.5 us barrier release latency
+            flag_set_cycles: 180,   // ~100 ns pipe drain + flag publish
+            flag_wait_cycles: 540,  // ~300 ns cross-core flag observation
 
             validation: ValidationMode::Full,
         }
@@ -170,6 +182,8 @@ impl ChipSpec {
 
             launch_cycles: 100,
             sync_all_cycles: 50,
+            flag_set_cycles: 6,
+            flag_wait_cycles: 18,
 
             validation: ValidationMode::Full,
         }
@@ -366,6 +380,17 @@ mod tests {
         assert_eq!(b4.cycles_per_sec(), 1.8e9);
         let tiny = ChipSpec::tiny();
         assert_eq!(tiny.total_vec_cores(), 4);
+    }
+
+    #[test]
+    fn cross_core_sync_is_priced_on_every_preset() {
+        // The AIC<->AIV hand-off must have nonzero modelled cost: both
+        // flag instructions and the barrier release latency.
+        for spec in [ChipSpec::ascend_910b4(), ChipSpec::tiny()] {
+            assert!(spec.flag_set_cycles > 0, "{}: free SetFlag", spec.name);
+            assert!(spec.flag_wait_cycles > 0, "{}: free WaitFlag", spec.name);
+            assert!(spec.sync_all_cycles > 0, "{}: free SyncAll", spec.name);
+        }
     }
 
     #[test]

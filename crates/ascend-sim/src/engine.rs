@@ -23,10 +23,17 @@ pub enum EngineKind {
     /// The vector (SIMD) engine.
     Vec,
     /// The scalar unit (address arithmetic, loop control, scalar ops).
+    /// Cross-core synchronization instructions — `CrossCoreSetFlag` /
+    /// `CrossCoreWaitFlag` and the per-core arrival/release legs of
+    /// `SyncAll` — issue here: the scalar pipe drains the preceding
+    /// engine queues and publishes (or polls) the flag.
     Scalar,
 }
 
 impl EngineKind {
+    /// The engine cross-core flag instructions issue on.
+    pub const FLAG_ENGINE: EngineKind = EngineKind::Scalar;
+
     /// All engine kinds, in a fixed order (used for utilization reports).
     pub const ALL: [EngineKind; 7] = [
         EngineKind::Mte2,

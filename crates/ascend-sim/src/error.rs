@@ -57,6 +57,18 @@ pub enum SimError {
         /// The instruction or operation that touched the stale buffer.
         what: &'static str,
     },
+    /// A local buffer owned by one core's scratchpad was used or freed
+    /// by a different core without going through a queue handoff
+    /// (simcheck). Scratchpads are private per core on real hardware;
+    /// such an access reads unrelated memory silently.
+    CrossCoreScratchpad {
+        /// The instruction or operation that performed the foreign use.
+        what: &'static str,
+        /// Unique id of the core that owns the buffer.
+        owner: u64,
+        /// Unique id of the core that used it.
+        user: u64,
+    },
     /// A queue was drained past its contents: `deque` before any
     /// `enque`, a double-`deque`, or `alloc_tensor` on an empty pool.
     QueueUnderflow {
@@ -133,6 +145,11 @@ impl fmt::Display for SimError {
                 f,
                 "{what}: stale buffer overlaps a live allocation in scratchpad {buffer}"
             ),
+            SimError::CrossCoreScratchpad { what, owner, user } => write!(
+                f,
+                "{what}: core {user} touched a local buffer owned by core {owner}'s scratchpad \
+                 (cross-core scratchpads are not addressable; hand buffers over via a queue)"
+            ),
             SimError::QueueUnderflow { op } => {
                 write!(f, "queue underflow: {op} with no entries available")
             }
@@ -200,6 +217,14 @@ mod tests {
             what: "Mmad",
         };
         assert!(e.to_string().contains("overlaps"));
+
+        let e = SimError::CrossCoreScratchpad {
+            what: "Adds",
+            owner: 3,
+            user: 7,
+        };
+        assert!(e.to_string().contains("core 7"));
+        assert!(e.to_string().contains("owned by core 3"));
 
         assert!(SimError::QueueUnderflow { op: "deque" }
             .to_string()

@@ -26,6 +26,14 @@
 //!   (effective HBM or L2 bandwidth);
 //! * a **launch overhead** per kernel.
 //!
+//! Blocks are driven by a deterministic cooperative [`Scheduler`]
+//! (see [`sync`]): one block runs at a time in a total, seed-independent
+//! event order, so launches replay byte-for-byte regardless of host
+//! thread scheduling and grids may exceed both the host's cores and the
+//! chip's. Cross-block synchronization (`SyncAll`) is built from priced
+//! `CrossCoreSetFlag`/`CrossCoreWaitFlag` scalar instructions, so
+//! barrier cost is modelled rather than absorbed.
+//!
 //! Functional behaviour is exact: global memory is a real byte buffer and
 //! every transfer/compute instruction also performs its actual data
 //! movement/arithmetic, so kernels produce bit-accurate results that the
@@ -59,6 +67,6 @@ pub use prof::{
 };
 pub use report::KernelReport;
 pub use simcheck::{ScratchTracker, ValidationMode};
-pub use sync::SharedSync;
+pub use sync::{FlagFile, Scheduler};
 pub use timeline::{CoreKind, CoreTimeline, EventTime};
 pub use trace::TraceEvent;

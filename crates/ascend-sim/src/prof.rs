@@ -29,14 +29,19 @@
 //! * **dependency-wait** — the engine sat idle because the instruction's
 //!   inputs were not ready yet (`start − engine_free` when the
 //!   dependencies resolve after the engine frees up);
+//! * **flag-wait** — the engine sat idle because the core was blocked on
+//!   a `CrossCoreWaitFlag` whose matching `CrossCoreSetFlag` had not yet
+//!   completed on the producing core (the AIC↔AIV hand-off cost);
 //! * **barrier-wait** — the engine sat idle because the core was aligned
-//!   to a global barrier (`SyncAll`, the bandwidth bound, or kernel end);
+//!   to a global barrier (the `SyncAll` release, the bandwidth bound, or
+//!   kernel end);
 //! * **engine-contention** — the instruction's inputs were ready but the
 //!   engine was still busy with earlier instructions. Contention overlaps
 //!   the engine's *own* busy time of those earlier instructions, so it is
 //!   a queueing-delay metric, **not** part of the idle-cycle partition:
-//!   `busy + dependency + barrier = cores × (cycles − launch)` exactly
-//!   (audited by `simcheck`), while contention is reported on the side.
+//!   `busy + dependency + barrier + flag = cores × (cycles − launch)`
+//!   exactly (audited by `simcheck`), while contention is reported on the
+//!   side.
 
 use crate::engine::EngineKind;
 use crate::timeline::EventTime;
@@ -54,6 +59,9 @@ pub enum StallCause {
     Dependency,
     /// Aligned forward by a global barrier / bandwidth bound / kernel end.
     Barrier,
+    /// Blocked on a `CrossCoreWaitFlag` until the matching
+    /// `CrossCoreSetFlag` completed on the producing core.
+    Flag,
 }
 
 impl StallCause {
@@ -62,6 +70,7 @@ impl StallCause {
         match self {
             StallCause::Dependency => "wait:dep",
             StallCause::Barrier => "wait:barrier",
+            StallCause::Flag => "wait:flag",
         }
     }
 }
@@ -76,6 +85,8 @@ pub struct StallTally {
     pub contention: [u64; EngineKind::ALL.len()],
     /// Idle cycles spent aligned at barriers, per engine.
     pub barrier: [u64; EngineKind::ALL.len()],
+    /// Idle cycles spent blocked on cross-core flags, per engine.
+    pub flag: [u64; EngineKind::ALL.len()],
 }
 
 impl StallTally {
@@ -86,17 +97,20 @@ impl StallTally {
             self.dependency[i] += other.dependency[i];
             self.contention[i] += other.contention[i];
             self.barrier[i] += other.barrier[i];
+            self.flag[i] += other.flag[i];
         }
     }
 
-    /// Idle cycles (dependency + barrier) for one engine.
+    /// Idle cycles (dependency + barrier + flag) for one engine.
     pub fn idle(&self, engine: EngineKind) -> u64 {
-        self.dependency[engine.index()] + self.barrier[engine.index()]
+        self.dependency[engine.index()] + self.barrier[engine.index()] + self.flag[engine.index()]
     }
 
     /// Total idle cycles across all engines.
     pub fn total_idle(&self) -> u64 {
-        self.dependency.iter().sum::<u64>() + self.barrier.iter().sum::<u64>()
+        self.dependency.iter().sum::<u64>()
+            + self.barrier.iter().sum::<u64>()
+            + self.flag.iter().sum::<u64>()
     }
 }
 
@@ -535,12 +549,14 @@ mod tests {
         let mut a = StallTally::default();
         a.dependency[EngineKind::Vec.index()] = 10;
         a.barrier[EngineKind::Vec.index()] = 5;
+        a.flag[EngineKind::Vec.index()] = 4;
         a.contention[EngineKind::Mte2.index()] = 7;
+        a.flag[EngineKind::Scalar.index()] = 2;
         let mut b = StallTally::default();
         b.dependency[EngineKind::Vec.index()] = 1;
         b.absorb(&a);
-        assert_eq!(b.idle(EngineKind::Vec), 16);
-        assert_eq!(b.total_idle(), 16);
+        assert_eq!(b.idle(EngineKind::Vec), 20);
+        assert_eq!(b.total_idle(), 22);
         assert_eq!(b.contention[EngineKind::Mte2.index()], 7);
     }
 

@@ -38,14 +38,20 @@ pub struct KernelReport {
     /// Number of global barriers executed.
     pub sync_rounds: u64,
     /// Attributed stall cycles per engine kind, summed over all cores:
-    /// dependency-wait and barrier-wait partition the idle time
-    /// (`busy + dependency + barrier = cores × (cycles − launch)`),
-    /// while contention measures queueing delay overlapping busy time.
+    /// dependency-wait, barrier-wait and flag-wait partition the idle
+    /// time (`busy + dependency + barrier + flag = cores × (cycles −
+    /// launch)`), while contention measures queueing delay overlapping
+    /// busy time.
     pub stalls: StallTally,
     /// Cycles blocks collectively idled at each barrier round (one entry
     /// per `SyncAll` plus a final entry for the kernel-end alignment, so
     /// `barrier_waits.len() == sync_rounds + 1` for launched kernels).
     pub barrier_waits: Vec<u64>,
+    /// Cycles blocks collectively idled per round waiting for the last
+    /// peer's `CrossCoreSetFlag` to land (the arrival-skew share of each
+    /// `SyncAll`), parallel to `barrier_waits`. The kernel-end entry is
+    /// always zero.
+    pub flag_waits: Vec<u64>,
 }
 
 impl KernelReport {
@@ -132,6 +138,7 @@ impl KernelReport {
         let mut engine_instructions = [0u64; EngineKind::ALL.len()];
         let mut stalls = StallTally::default();
         let mut barrier_waits = Vec::new();
+        let mut flag_waits = Vec::new();
         for p in parts {
             for i in 0..EngineKind::ALL.len() {
                 engine_busy[i] += p.engine_busy[i];
@@ -139,6 +146,7 @@ impl KernelReport {
             }
             stalls.absorb(&p.stalls);
             barrier_waits.extend_from_slice(&p.barrier_waits);
+            flag_waits.extend_from_slice(&p.flag_waits);
         }
         KernelReport {
             name: name.to_string(),
@@ -154,18 +162,20 @@ impl KernelReport {
             sync_rounds: parts.iter().map(|p| p.sync_rounds).sum(),
             stalls,
             barrier_waits,
+            flag_waits,
         }
     }
 
     /// Renders the report as one JSON object with a stable schema
-    /// (`bench-scan/v1`): identification (`name`, `blocks`), totals
+    /// (`bench-scan/v2`): identification (`name`, `blocks`), totals
     /// (`cycles`, `time_us`, traffic and byte counters, `sync_rounds`,
-    /// `barrier_wait_cycles`), derived rates (`gbps`, `traffic_gbps`,
-    /// `gelems`, `fraction_of_peak` — `0.0` when the underlying
-    /// denominator is zero), and a per-engine map `engines` keyed by
-    /// engine name with `busy_cycles`, `instructions`, `utilization`,
-    /// and the stall breakdown (`stall_dependency`, `stall_contention`,
-    /// `stall_barrier`).
+    /// `barrier_wait_cycles`, `flag_wait_cycles`), derived rates
+    /// (`gbps`, `traffic_gbps`, `gelems`, `fraction_of_peak` — `0.0`
+    /// when the underlying denominator is zero), and a per-engine map
+    /// `engines` keyed by engine name with `busy_cycles`,
+    /// `instructions`, `utilization`, and the stall breakdown
+    /// (`stall_dependency`, `stall_contention`, `stall_barrier`,
+    /// `stall_flag`).
     pub fn to_json(&self, spec: &ChipSpec) -> String {
         fn jf(v: f64) -> String {
             if v.is_finite() {
@@ -193,6 +203,12 @@ impl KernelReport {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let flag_waits = self
+            .flag_waits
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         let mut engines = String::new();
         for (i, e) in EngineKind::ALL.iter().enumerate() {
             let cores = spec.cores_with_engine(self.blocks, *e);
@@ -201,7 +217,8 @@ impl KernelReport {
             }
             engines.push_str(&format!(
                 "\"{}\":{{\"busy_cycles\":{},\"instructions\":{},\"utilization\":{},\
-                 \"stall_dependency\":{},\"stall_contention\":{},\"stall_barrier\":{}}}",
+                 \"stall_dependency\":{},\"stall_contention\":{},\"stall_barrier\":{},\
+                 \"stall_flag\":{}}}",
                 e.name(),
                 self.engine_busy[i],
                 self.engine_instructions[i],
@@ -209,13 +226,15 @@ impl KernelReport {
                 self.stalls.dependency[i],
                 self.stalls.contention[i],
                 self.stalls.barrier[i],
+                self.stalls.flag[i],
             ));
         }
         format!(
             "{{\"name\":\"{}\",\"blocks\":{},\"cycles\":{},\"time_us\":{},\
              \"gbps\":{},\"traffic_gbps\":{},\"gelems\":{},\"fraction_of_peak\":{},\
              \"bytes_read\":{},\"bytes_written\":{},\"useful_bytes\":{},\"elements\":{},\
-             \"sync_rounds\":{},\"barrier_wait_cycles\":[{}],\"engines\":{{{}}}}}",
+             \"sync_rounds\":{},\"barrier_wait_cycles\":[{}],\"flag_wait_cycles\":[{}],\
+             \"engines\":{{{}}}}}",
             json_escape(&self.name),
             self.blocks,
             self.cycles,
@@ -230,6 +249,7 @@ impl KernelReport {
             self.elements,
             self.sync_rounds,
             barrier_waits,
+            flag_waits,
             engines,
         )
     }
@@ -254,6 +274,7 @@ mod tests {
             sync_rounds: 1,
             stalls: StallTally::default(),
             barrier_waits: vec![100, 50],
+            flag_waits: vec![30, 0],
         }
     }
 
@@ -300,8 +321,9 @@ mod tests {
         assert_eq!(s.bytes_read, 6_000_000);
         assert_eq!(s.useful_bytes, 0);
         assert_eq!(s.elements, 0);
-        // Barrier-wait rounds concatenate; stalls add up.
+        // Barrier- and flag-wait rounds concatenate; stalls add up.
         assert_eq!(s.barrier_waits, vec![100, 50, 100, 50]);
+        assert_eq!(s.flag_waits, vec![30, 0, 30, 0]);
     }
 
     #[test]
@@ -322,10 +344,12 @@ mod tests {
             "\"fraction_of_peak\":",
             "\"sync_rounds\":",
             "\"barrier_wait_cycles\":",
+            "\"flag_wait_cycles\":",
             "\"engines\":",
             "\"stall_dependency\":",
             "\"stall_contention\":",
             "\"stall_barrier\":",
+            "\"stall_flag\":",
             "\"busy_cycles\":",
             "\"instructions\":",
             "\"utilization\":",
@@ -336,6 +360,7 @@ mod tests {
         assert!(json.contains("\"CUBE\":{"));
         assert!(json.contains("\"stall_dependency\":123"));
         assert!(json.contains("\"barrier_wait_cycles\":[100,50]"));
+        assert!(json.contains("\"flag_wait_cycles\":[30,0]"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

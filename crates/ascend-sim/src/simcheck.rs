@@ -50,17 +50,30 @@ pub enum ValidationMode {
     /// accounting audits. The default, and what all tests run under.
     #[default]
     Full,
+    /// [`ValidationMode::Full`] plus per-element data validation: every
+    /// tensor enqueued into a [`TQue`] is checksummed and the checksum is
+    /// re-verified at `deque`, catching any corruption of the payload
+    /// across the cross-core handoff. Off by default — the checksums are
+    /// O(bytes) per handoff.
+    ///
+    /// [`TQue`]: https://docs.rs/ascendc
+    Paranoid,
 }
 
 impl ValidationMode {
     /// Whether scratchpad lifetime/overlap tracking is active.
     pub fn lifetime_checks(self) -> bool {
-        matches!(self, ValidationMode::Full)
+        matches!(self, ValidationMode::Full | ValidationMode::Paranoid)
     }
 
     /// Whether post-launch timeline and accounting audits run.
     pub fn audits(self) -> bool {
-        matches!(self, ValidationMode::Full)
+        matches!(self, ValidationMode::Full | ValidationMode::Paranoid)
+    }
+
+    /// Whether enque/deque payload checksumming is active.
+    pub fn checksums(self) -> bool {
+        matches!(self, ValidationMode::Paranoid)
     }
 
     /// Whether any validation at all is requested.
@@ -307,30 +320,36 @@ pub fn audit_report(
 /// end, each engine's time decomposes *exactly* as
 ///
 /// ```text
-/// busy + stall_dependency + stall_barrier
+/// busy + stall_dependency + stall_barrier + stall_flag
 ///     == cores_with_engine × (cycles − launch_cycles)
 /// ```
 ///
 /// (contention overlaps busy time and is deliberately outside the
 /// partition). Only valid for reports produced by the launch machinery —
-/// synthetic or [`KernelReport::sequential`] reports don't satisfy it.
+/// synthetic or [`KernelReport::sequential`] reports don't satisfy it,
+/// and neither do oversubscribed launches (`blocks > ai_cores`), where
+/// blocks time-share physical cores and are not aligned to a common
+/// kernel end; the launch path skips the audit for those.
 pub fn audit_stall_accounting(report: &KernelReport, spec: &ChipSpec) -> SimResult<()> {
     let span = report.cycles.saturating_sub(spec.launch_cycles);
     for e in EngineKind::ALL {
         let i = e.index();
-        let accounted =
-            report.engine_busy[i] + report.stalls.dependency[i] + report.stalls.barrier[i];
+        let accounted = report.engine_busy[i]
+            + report.stalls.dependency[i]
+            + report.stalls.barrier[i]
+            + report.stalls.flag[i];
         let expected = spec.cores_with_engine(report.blocks, e) * span;
         if accounted != expected {
             return Err(SimError::AccountingViolation {
                 what: "stall accounting partition",
                 detail: format!(
-                    "engine {}: busy {} + dep {} + barrier {} = {accounted} \
+                    "engine {}: busy {} + dep {} + barrier {} + flag {} = {accounted} \
                      != {expected} ({} cores x {span} cycles)",
                     e.name(),
                     report.engine_busy[i],
                     report.stalls.dependency[i],
                     report.stalls.barrier[i],
+                    report.stalls.flag[i],
                     spec.cores_with_engine(report.blocks, e),
                 ),
             });
@@ -353,8 +372,14 @@ mod tests {
     fn validation_mode_gating() {
         assert!(ValidationMode::Full.lifetime_checks());
         assert!(ValidationMode::Full.audits());
+        assert!(!ValidationMode::Full.checksums());
+        assert!(ValidationMode::Paranoid.lifetime_checks());
+        assert!(ValidationMode::Paranoid.audits());
+        assert!(ValidationMode::Paranoid.checksums());
+        assert!(ValidationMode::Paranoid.enabled());
         assert!(!ValidationMode::Cheap.lifetime_checks());
         assert!(!ValidationMode::Cheap.audits());
+        assert!(!ValidationMode::Cheap.checksums());
         assert!(ValidationMode::Cheap.enabled());
         assert!(!ValidationMode::Off.enabled());
         assert_eq!(ValidationMode::default(), ValidationMode::Full);
@@ -466,6 +491,7 @@ mod tests {
             sync_rounds: 0,
             stalls: crate::prof::StallTally::default(),
             barrier_waits: Vec::new(),
+            flag_waits: Vec::new(),
         };
         assert!(audit_report(&report, &spec, 512, 256).is_ok());
 
@@ -507,19 +533,28 @@ mod tests {
             sync_rounds: 0,
             stalls: crate::prof::StallTally::default(),
             barrier_waits: Vec::new(),
+            flag_waits: Vec::new(),
         };
-        // Fill every engine's partition exactly: busy + dep + barrier
-        // must equal cores_with_engine x span.
+        // Fill every engine's partition exactly: busy + dep + barrier +
+        // flag must equal cores_with_engine x span.
         for e in EngineKind::ALL {
             let cores = spec.cores_with_engine(1, e);
             report.engine_busy[e.index()] = 100 * cores;
             report.stalls.dependency[e.index()] = 300 * cores;
-            report.stalls.barrier[e.index()] = (span - 400) * cores;
+            report.stalls.flag[e.index()] = 50 * cores;
+            report.stalls.barrier[e.index()] = (span - 450) * cores;
         }
         assert!(audit_stall_accounting(&report, &spec).is_ok());
 
         // A missing cycle anywhere breaks the partition.
         report.stalls.barrier[EngineKind::Vec.index()] -= 1;
+        assert!(matches!(
+            audit_stall_accounting(&report, &spec),
+            Err(SimError::AccountingViolation { .. })
+        ));
+        report.stalls.barrier[EngineKind::Vec.index()] += 1;
+        // So does an excess flag-wait cycle.
+        report.stalls.flag[EngineKind::Scalar.index()] += 1;
         assert!(matches!(
             audit_stall_accounting(&report, &spec),
             Err(SimError::AccountingViolation { .. })

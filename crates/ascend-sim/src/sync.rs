@@ -1,141 +1,365 @@
-//! Cross-block synchronization and the global bandwidth bound.
+//! The deterministic cooperative block scheduler, cross-block barriers,
+//! cross-core flags, and the global bandwidth bound.
 //!
-//! Blocks execute on OS threads; `SyncAll` is a real barrier. At each
-//! barrier (and at kernel end) the simulated clocks of all blocks are
-//! aligned to the slowest block, and additionally to the **bandwidth
-//! bound** of the segment since the previous barrier: the clock cannot
-//! advance faster than the bytes moved to/from global memory divided by
-//! the effective memory bandwidth. This is what makes memory-bound
-//! kernels (scan, copy, compress) saturate at the modelled HBM roofline
-//! while latency-bound kernels stay on their critical path.
+//! # Execution model
 //!
-//! Determinism: per-block clocks are deterministic functions of the
-//! kernel program; byte counters are summed atomically; the barrier takes
-//! a max over blocks. No quantity depends on thread scheduling.
+//! Blocks are resumable tasks driven by a single [`Scheduler`]. Exactly
+//! one block makes progress at any instant: a block runs until it either
+//! *yields* at a `SyncAll` barrier ([`Scheduler::sync`]) or *completes*
+//! ([`Scheduler::finish`]), and the scheduler then hands the baton to the
+//! next task in a **total, seed-independent event order** — within each
+//! barrier round, blocks run and resume in ascending block index. Host
+//! thread scheduling therefore cannot influence anything: every run of
+//! the same kernel replays byte-for-byte, and `launch()` can multiplex
+//! grids far larger than the chip (or the host) onto the physical cores.
+//!
+//! # Barrier pricing
+//!
+//! `SyncAll` is built from priced cross-core flag instructions rather
+//! than a free host barrier. Each participating core executes a
+//! `CrossCoreSetFlag` (arrival) and a `CrossCoreWaitFlag` (release poll)
+//! on its scalar pipe; the scheduler resolves the barrier once every
+//! live block has arrived:
+//!
+//! * the cycles until the **last arrival flag** lands are attributed as
+//!   `wait:flag` stall time on the early cores (the AIC↔AIV skew);
+//! * the remaining alignment — the segment's **bandwidth bound** plus the
+//!   chip's barrier release latency (`sync_all_cycles`) — is attributed
+//!   as `wait:barrier` stall time.
+//!
+//! The bandwidth bound is unchanged from the original model: between two
+//! barriers the global clock cannot advance faster than the bytes moved
+//! to/from global memory divided by the effective memory bandwidth, which
+//! is what makes memory-bound kernels saturate at the modelled roofline.
 
 use crate::chip::ChipSpec;
 use crate::mem::GlobalMemory;
 use crate::timeline::EventTime;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
 
-struct SegmentState {
-    /// Corrected global clock at the end of the last barrier.
+/// Per-block registry of cross-core flag completion times.
+///
+/// `CrossCoreSetFlag` publishes the set instruction's completion time
+/// under a flag id; `CrossCoreWaitFlag` on another core of the same block
+/// reads it back and stalls until it. Ids are kernel-chosen; the
+/// simulator does not enforce the small physical flag-id space, it only
+/// requires that a flag is set before it is waited on (a wait on an unset
+/// flag would deadlock real silicon).
+#[derive(Debug, Default)]
+pub struct FlagFile {
+    slots: RefCell<HashMap<u32, EventTime>>,
+}
+
+impl FlagFile {
+    /// An empty flag file (all flags unset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes flag `id` as set at cycle `at` (a later set overwrites).
+    pub fn set(&self, id: u32, at: EventTime) {
+        self.slots.borrow_mut().insert(id, at);
+    }
+
+    /// The completion time of the most recent set of flag `id`, if any.
+    pub fn get(&self, id: u32) -> Option<EventTime> {
+        self.slots.borrow().get(&id).copied()
+    }
+}
+
+/// What one block is doing, from the scheduler's point of view.
+#[derive(Clone, Copy, Debug)]
+enum BlockState {
+    /// Not started yet (will be handed the baton in index order).
+    Pending,
+    /// Running the segment that ends at barrier round `.0`.
+    Released(u64),
+    /// Arrived at barrier round `.0`; `set_done` is when its last arrival
+    /// flag landed, `ready` is when its slowest core finished the wait
+    /// instruction that follows.
+    AtBarrier {
+        round: u64,
+        set_done: EventTime,
+        ready: EventTime,
+    },
+    /// Kernel body complete at local cycle `.0`; waiting for the final
+    /// kernel-end alignment.
+    Finishing(EventTime),
+}
+
+struct SchedState {
+    /// Corrected global clock at the end of the last resolved round.
     seg_start: EventTime,
-    /// GM traffic counters (read+written) at the end of the last barrier.
+    /// GM traffic counters (read+written) at the end of the last round.
     bytes_mark: u64,
-    /// Max of the block clocks gathered during the current round.
-    max_clock: EventTime,
-    /// Result of the current round, published by the leader.
-    resolved: EventTime,
-    /// Number of barrier rounds completed (SyncAll count).
+    /// Barrier round currently being gathered.
+    round: u64,
+    /// Per-block execution state.
+    status: Vec<BlockState>,
+    /// Block currently holding the baton (`None` once all are parked at
+    /// the final alignment or the launch is done).
+    turn: Option<usize>,
+    /// `(all_set, resolved)` per resolved barrier round.
+    round_result: Vec<(EventTime, EventTime)>,
+    /// Barrier release latency for the round being gathered.
+    pending_cost: u64,
+    /// Completed rounds (barriers + the final kernel-end alignment).
     rounds: u64,
-    /// Wait cycles per completed round, summed over blocks: how long the
-    /// blocks collectively idled at each barrier (the unpriced AIC→AIV
-    /// flag-sync gap made visible).
+    /// Barrier-wait cycles per round, summed over blocks.
     round_waits: Vec<u64>,
+    /// Flag-wait (arrival skew) cycles per round, summed over blocks.
+    flag_waits: Vec<u64>,
+    /// Kernel-end alignment time, once every block has finished.
+    final_end: Option<EventTime>,
 }
 
-/// Shared synchronization state for one kernel launch.
-pub struct SharedSync {
-    barrier: Barrier,
-    state: Mutex<SegmentState>,
-    publish: Barrier,
-    /// Total cycles spent waiting at barriers, summed over blocks (stat).
-    wait_cycles: AtomicU64,
+/// Deterministic cooperative scheduler for one kernel launch.
+///
+/// Protocol, per block thread: [`Scheduler::begin`] once, then any
+/// number of [`Scheduler::sync`] calls (one per `SyncAll`), then exactly
+/// one [`Scheduler::finish`]. A block that errors out early may skip
+/// straight to `finish`; barriers resolve over the blocks still live, so
+/// mismatched sync counts cannot deadlock the launch.
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
 }
 
-impl SharedSync {
-    /// Creates sync state for `blocks` participating blocks, with segment
-    /// accounting starting at cycle 0 and zero bytes moved.
+impl Scheduler {
+    /// Creates a scheduler for `blocks` blocks, with segment accounting
+    /// starting at cycle 0 and zero bytes moved.
     pub fn new(blocks: usize) -> Self {
         Self::with_origin(blocks, 0, 0)
     }
 
-    /// Creates sync state whose first segment starts at `seg_start` cycles
-    /// with `bytes_mark` bytes of GM traffic already on the counters
-    /// (needed when one [`GlobalMemory`] is reused across kernel launches).
+    /// Creates a scheduler whose first segment starts at `seg_start`
+    /// cycles with `bytes_mark` bytes of GM traffic already on the
+    /// counters (needed when one [`GlobalMemory`] is reused across
+    /// kernel launches).
     pub fn with_origin(blocks: usize, seg_start: EventTime, bytes_mark: u64) -> Self {
-        SharedSync {
-            barrier: Barrier::new(blocks),
-            publish: Barrier::new(blocks),
-            state: Mutex::new(SegmentState {
+        Scheduler {
+            state: Mutex::new(SchedState {
                 seg_start,
                 bytes_mark,
-                max_clock: 0,
-                resolved: 0,
+                round: 0,
+                status: vec![BlockState::Pending; blocks],
+                turn: Some(0),
+                round_result: Vec::new(),
+                pending_cost: 0,
                 rounds: 0,
                 round_waits: Vec::new(),
+                flag_waits: Vec::new(),
+                final_end: None,
             }),
-            wait_cycles: AtomicU64::new(0),
+            cv: Condvar::new(),
         }
     }
 
-    /// Executes one global synchronization: blocks contribute their local
-    /// clock, the slowest block and the segment's bandwidth bound decide
-    /// the common resumption time, and `barrier_cost` cycles are added.
-    ///
-    /// Returns the cycle at which all blocks resume.
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().expect("Scheduler lock poisoned")
+    }
+
+    /// Blocks until it is this block's turn to start executing. Must be
+    /// the first scheduler call a block thread makes.
+    pub fn begin(&self, block: usize) {
+        let mut st = self.lock();
+        while st.turn != Some(block) {
+            st = self.cv.wait(st).expect("Scheduler lock poisoned");
+        }
+        let round = st.round;
+        st.status[block] = BlockState::Released(round);
+    }
+
+    /// Yields at a `SyncAll` barrier. `set_done` is the completion time
+    /// of the block's last arrival (`CrossCoreSetFlag`) instruction;
+    /// `ready` is when its slowest core finished the release-poll
+    /// (`CrossCoreWaitFlag`) instruction that follows. Parks the calling
+    /// block and hands the baton on; returns `(all_set, resolved)` once
+    /// the round resolves — the cycle the last arrival flag landed
+    /// grid-wide, and the cycle all blocks resume.
     pub fn sync(
         &self,
-        local_clock: EventTime,
+        block: usize,
+        set_done: EventTime,
+        ready: EventTime,
         gm: &GlobalMemory,
         spec: &ChipSpec,
-        barrier_cost: u64,
-    ) -> EventTime {
-        {
-            let mut st = self.state.lock().expect("SharedSync lock poisoned");
-            st.max_clock = st.max_clock.max(local_clock);
-        }
-        let leader = self.barrier.wait().is_leader();
-        if leader {
-            let mut st = self.state.lock().expect("SharedSync lock poisoned");
-            let seg_bytes = (gm.bytes_read() + gm.bytes_written()).saturating_sub(st.bytes_mark);
-            let bw_bound = st.seg_start + spec.gm_bound_cycles(seg_bytes, gm.high_water());
-            let resolved = st.max_clock.max(bw_bound) + barrier_cost;
-            st.resolved = resolved;
-            st.seg_start = resolved;
-            st.bytes_mark = gm.bytes_read() + gm.bytes_written();
-            st.max_clock = 0;
-            st.rounds += 1;
-            st.round_waits.push(0);
-        }
-        self.publish.wait();
-        // Safe to accumulate into the freshly pushed round slot: the next
-        // round's leader section cannot run until every block has passed
-        // this round's publish barrier and re-entered `sync`.
-        let resolved = {
-            let mut st = self.state.lock().expect("SharedSync lock poisoned");
-            let resolved = st.resolved;
-            let wait = resolved.saturating_sub(local_clock);
-            if let Some(last) = st.round_waits.last_mut() {
-                *last += wait;
-            }
-            resolved
+        release_cost: u64,
+    ) -> (EventTime, EventTime) {
+        let mut st = self.lock();
+        let my_round = st.round;
+        st.status[block] = BlockState::AtBarrier {
+            round: my_round,
+            set_done,
+            ready,
         };
-        self.wait_cycles
-            .fetch_add(resolved.saturating_sub(local_clock), Ordering::Relaxed);
-        resolved
+        st.pending_cost = st.pending_cost.max(release_cost);
+        self.advance(&mut st, gm, spec);
+        self.cv.notify_all();
+        loop {
+            let resolved = st.round_result.get(my_round as usize).copied();
+            if let Some(result) = resolved {
+                if st.turn == Some(block) {
+                    return result;
+                }
+            }
+            st = self.cv.wait(st).expect("Scheduler lock poisoned");
+        }
     }
 
-    /// Number of completed synchronization rounds.
+    /// Marks the block's kernel body complete at local cycle `local` and
+    /// parks until every block has finished; returns the kernel-end
+    /// alignment time (slowest block, stretched to the final segment's
+    /// bandwidth bound).
+    pub fn finish(
+        &self,
+        block: usize,
+        local: EventTime,
+        gm: &GlobalMemory,
+        spec: &ChipSpec,
+    ) -> EventTime {
+        let mut st = self.lock();
+        st.status[block] = BlockState::Finishing(local);
+        self.advance(&mut st, gm, spec);
+        self.cv.notify_all();
+        loop {
+            if let Some(end) = st.final_end {
+                return end;
+            }
+            st = self.cv.wait(st).expect("Scheduler lock poisoned");
+        }
+    }
+
+    /// Picks the next baton holder; resolves the current barrier round or
+    /// the final alignment when no block can run.
+    fn advance(&self, st: &mut SchedState, gm: &GlobalMemory, spec: &ChipSpec) {
+        loop {
+            let round = st.round;
+            let runnable = (0..st.status.len()).find(|&i| {
+                matches!(st.status[i], BlockState::Pending)
+                    || matches!(st.status[i], BlockState::Released(r) if r == round)
+            });
+            if let Some(next) = runnable {
+                st.turn = Some(next);
+                return;
+            }
+            let any_at_barrier = st
+                .status
+                .iter()
+                .any(|s| matches!(s, BlockState::AtBarrier { round: r, .. } if *r == round));
+            if any_at_barrier {
+                self.resolve_round(st, gm, spec);
+                // Loop: the released blocks are now runnable.
+            } else {
+                self.resolve_final(st, gm, spec);
+                st.turn = None;
+                return;
+            }
+        }
+    }
+
+    /// Resolves one barrier round over the blocks that arrived at it.
+    fn resolve_round(&self, st: &mut SchedState, gm: &GlobalMemory, spec: &ChipSpec) {
+        let round = st.round;
+        let mut all_set: EventTime = 0;
+        let mut ready_max: EventTime = 0;
+        for s in &st.status {
+            if let BlockState::AtBarrier {
+                round: r,
+                set_done,
+                ready,
+            } = *s
+            {
+                if r == round {
+                    all_set = all_set.max(set_done);
+                    ready_max = ready_max.max(ready);
+                }
+            }
+        }
+        let seg_bytes = (gm.bytes_read() + gm.bytes_written()).saturating_sub(st.bytes_mark);
+        let bw_bound = st.seg_start + spec.gm_bound_cycles(seg_bytes, gm.high_water());
+        let resolved = ready_max.max(bw_bound) + st.pending_cost;
+        // Split each block's idle time at the barrier: waiting for the
+        // last peer's arrival flag to land (and for its own release poll
+        // of that flag) is flag time; the rest — bandwidth stretch plus
+        // release latency — is barrier time.
+        let flag_cut = (all_set + spec.flag_wait_cycles).min(resolved);
+        let mut flag_wait = 0u64;
+        let mut barrier_wait = 0u64;
+        for s in &mut st.status {
+            if let BlockState::AtBarrier {
+                round: r, ready, ..
+            } = *s
+            {
+                if r == round {
+                    flag_wait += flag_cut.saturating_sub(ready);
+                    barrier_wait += resolved - ready.max(flag_cut);
+                    *s = BlockState::Released(round + 1);
+                }
+            }
+        }
+        st.round_result.push((all_set, resolved));
+        st.seg_start = resolved;
+        st.bytes_mark = gm.bytes_read() + gm.bytes_written();
+        st.pending_cost = 0;
+        st.round += 1;
+        st.rounds += 1;
+        st.flag_waits.push(flag_wait);
+        st.round_waits.push(barrier_wait);
+    }
+
+    /// Resolves the kernel-end alignment once every block has finished.
+    fn resolve_final(&self, st: &mut SchedState, gm: &GlobalMemory, spec: &ChipSpec) {
+        let mut max_local: EventTime = 0;
+        for s in &st.status {
+            match *s {
+                BlockState::Finishing(local) => max_local = max_local.max(local),
+                _ => unreachable!("final alignment with unfinished blocks"),
+            }
+        }
+        let seg_bytes = (gm.bytes_read() + gm.bytes_written()).saturating_sub(st.bytes_mark);
+        let bw_bound = st.seg_start + spec.gm_bound_cycles(seg_bytes, gm.high_water());
+        let end = max_local.max(bw_bound);
+        let wait: u64 = st
+            .status
+            .iter()
+            .map(|s| match *s {
+                BlockState::Finishing(local) => end - local,
+                _ => 0,
+            })
+            .sum();
+        st.seg_start = end;
+        st.bytes_mark = gm.bytes_read() + gm.bytes_written();
+        st.rounds += 1;
+        st.round_waits.push(wait);
+        st.flag_waits.push(0);
+        st.final_end = Some(end);
+    }
+
+    /// Number of completed rounds (barriers plus the final alignment).
     pub fn rounds(&self) -> u64 {
-        self.state.lock().expect("SharedSync lock poisoned").rounds
+        self.lock().rounds
     }
 
-    /// Total cycles blocks spent waiting at barriers (summed over blocks).
+    /// Total cycles blocks spent idle at barriers and on arrival flags.
     pub fn total_wait_cycles(&self) -> u64 {
-        self.wait_cycles.load(Ordering::SeqCst)
+        let st = self.lock();
+        st.round_waits.iter().sum::<u64>() + st.flag_waits.iter().sum::<u64>()
     }
 
-    /// Wait cycles per completed barrier round, summed over blocks. The
-    /// last entry is the kernel-end alignment round.
+    /// Barrier-wait cycles per round, summed over blocks. The last entry
+    /// is the kernel-end alignment round.
     pub fn round_waits(&self) -> Vec<u64> {
-        self.state
-            .lock()
-            .expect("SharedSync lock poisoned")
-            .round_waits
-            .clone()
+        self.lock().round_waits.clone()
+    }
+
+    /// Flag-wait (arrival skew) cycles per round, summed over blocks,
+    /// parallel to [`Scheduler::round_waits`]. The kernel-end entry is
+    /// always zero: the runtime aligns finished blocks without flags.
+    pub fn flag_waits(&self) -> Vec<u64> {
+        self.lock().flag_waits.clone()
     }
 }
 
@@ -145,40 +369,77 @@ mod tests {
     use std::sync::Arc;
 
     fn spec_no_bw() -> ChipSpec {
-        // A spec with effectively infinite bandwidth so only the max-clock
-        // logic is visible.
+        // A spec with effectively infinite bandwidth so only the
+        // max-clock logic is visible.
         let mut s = ChipSpec::tiny();
         s.hbm_bytes_per_sec = 1e18;
         s.l2_bytes_per_sec = 1e18;
         s
     }
 
-    #[test]
-    fn barrier_aligns_to_slowest_block() {
-        let spec = spec_no_bw();
-        let gm = Arc::new(GlobalMemory::new(1 << 20));
-        let sync = Arc::new(SharedSync::new(3));
-        let clocks = [100u64, 5000, 250];
-        let results: Vec<EventTime> = std::thread::scope(|s| {
-            let handles: Vec<_> = clocks
+    /// Runs the full protocol for `set_done` arrival clocks (one barrier
+    /// round, then finish at the barrier's resolution time); returns each
+    /// block's `(all_set, resolved)`.
+    fn one_round(
+        spec: &ChipSpec,
+        gm: &Arc<GlobalMemory>,
+        set_clocks: &[EventTime],
+        cost: u64,
+    ) -> (Arc<Scheduler>, Vec<(EventTime, EventTime)>) {
+        let sched = Arc::new(Scheduler::new(set_clocks.len()));
+        let w = spec.flag_wait_cycles;
+        let results: Vec<(EventTime, EventTime)> = std::thread::scope(|s| {
+            let handles: Vec<_> = set_clocks
                 .iter()
-                .map(|&c| {
-                    let sync = Arc::clone(&sync);
-                    let gm = Arc::clone(&gm);
+                .enumerate()
+                .map(|(i, &c)| {
+                    let sched = Arc::clone(&sched);
+                    let gm = Arc::clone(gm);
                     let spec = spec.clone();
-                    s.spawn(move || sync.sync(c, &gm, &spec, 7))
+                    s.spawn(move || {
+                        sched.begin(i);
+                        let r = sched.sync(i, c, c + w, &gm, &spec, cost);
+                        sched.finish(i, r.1, &gm, &spec);
+                        r
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        assert!(results.iter().all(|&r| r == 5007));
-        assert_eq!(sync.rounds(), 1);
+        (sched, results)
+    }
+
+    #[test]
+    fn barrier_aligns_to_slowest_block() {
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        // Arrival flags land at 100, 5000, 250; every core's release poll
+        // takes flag_wait_cycles (18 on tiny) after its own arrival.
+        let (sched, results) = one_round(&spec, &gm, &[100, 5000, 250], 7);
+        let all_set = 5000;
+        let resolved = all_set + spec.flag_wait_cycles + 7;
+        assert!(results.iter().all(|&r| r == (all_set, resolved)));
+        // One barrier + the final alignment.
+        assert_eq!(sched.rounds(), 2);
+    }
+
+    #[test]
+    fn barrier_idle_splits_into_flag_skew_and_release() {
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        let (sched, _) = one_round(&spec, &gm, &[100, 5000, 250], 7);
+        // Flag skew: each early block waits (5000 - its arrival) for the
+        // laggard's set flag (the laggard itself waits 0); barrier:
+        // everyone pays the release cost.
+        assert_eq!(sched.flag_waits(), vec![4900 + 4750, 0]);
+        assert_eq!(sched.round_waits(), vec![7 * 3, 0]);
+        assert_eq!(sched.total_wait_cycles(), 4900 + 4750 + 21);
     }
 
     #[test]
     fn bandwidth_bound_stretches_fast_segments() {
-        // 1 GB moved at 100 GB/s on a 1 GHz chip = 10 ms = 1e7 cycles;
-        // blocks claim to finish in 100 cycles, so the bound dominates.
+        // 4 MiB moved at 100 GB/s on a 1 GHz chip; blocks claim to finish
+        // almost immediately, so the bound dominates.
         let spec = ChipSpec::tiny(); // 100 GB/s HBM, L2 1 MiB @ 200 GB/s
         let gm = Arc::new(GlobalMemory::new(8 << 20));
         let region = gm.alloc(4 << 20).unwrap(); // working set 4 MiB > L2
@@ -188,9 +449,9 @@ mod tests {
         }
         assert_eq!(gm.bytes_written(), 4 << 20);
 
-        let sync = SharedSync::new(1);
-        let t = sync.sync(100, &gm, &spec, 0);
-        // 4 MiB at 100 GB/s on 1 GHz: 4194304/100 = 41944 cycles (ceil).
+        let sched = Scheduler::new(1);
+        sched.begin(0);
+        let (_, t) = sched.sync(0, 100, 100 + spec.flag_wait_cycles, &gm, &spec, 0);
         let expect = spec.gm_bound_cycles(4 << 20, gm.high_water());
         assert_eq!(t, expect);
         assert!(t > 100);
@@ -202,14 +463,15 @@ mod tests {
         let gm = GlobalMemory::new(8 << 20);
         let region = gm.alloc(4 << 20).unwrap();
         let buf = vec![0u8; 2 << 20];
-        let sync = SharedSync::new(1);
+        let sched = Scheduler::new(1);
+        sched.begin(0);
 
         gm.device_write(region, 0, &buf).unwrap();
-        let t1 = sync.sync(0, &gm, &spec, 0);
+        let (_, t1) = sched.sync(0, 0, 0, &gm, &spec, 0);
         // Second segment moves the same amount; the bound should advance
         // by the same delta, not double-count the first segment.
         gm.device_write(region, 2 << 20, &buf).unwrap();
-        let t2 = sync.sync(t1, &gm, &spec, 0);
+        let (_, t2) = sched.sync(0, t1, t1, &gm, &spec, 0);
         assert_eq!(t2 - t1, t1, "equal segments take equal time");
     }
 
@@ -220,43 +482,96 @@ mod tests {
         let region = gm.alloc(512 << 10).unwrap(); // fits in L2
         let buf = vec![0u8; 512 << 10];
         gm.device_write(region, 0, &buf).unwrap();
-        let sync = SharedSync::new(1);
-        let t = sync.sync(0, &gm, &spec, 0);
+        let sched = Scheduler::new(1);
+        sched.begin(0);
+        let (_, t) = sched.sync(0, 0, 0, &gm, &spec, 0);
         // 512 KiB at 200 GB/s (L2) on 1 GHz.
         assert_eq!(t, ((512u64 << 10) as f64 / 200e9 * 1e9).ceil() as u64);
     }
 
     #[test]
-    fn wait_cycles_accumulate() {
+    fn wait_cycles_accumulate_across_rounds() {
         let spec = spec_no_bw();
         let gm = GlobalMemory::new(1 << 20);
-        let sync = SharedSync::new(1);
-        sync.sync(100, &gm, &spec, 0);
-        assert_eq!(sync.total_wait_cycles(), 0);
-        // Next round: block arrives at 100 but the segment already ended
-        // at 100, so joining at clock 50 would wait 50.
-        let t = sync.sync(100, &gm, &spec, 25);
-        assert_eq!(t, 125);
-        assert_eq!(sync.total_wait_cycles(), 25);
-        assert_eq!(sync.round_waits(), vec![0, 25]);
+        let sched = Scheduler::new(1);
+        sched.begin(0);
+        // ready = set + flag_wait_cycles: the release poll is busy time
+        // on the core, so a lone block stalls on neither flags nor the
+        // barrier when the release is free.
+        let (_, t1) = sched.sync(0, 100, 118, &gm, &spec, 0);
+        assert_eq!(t1, 118, "single block still pays its own release poll");
+        // Next round: the block pays 25 cycles of release cost.
+        let (_, t2) = sched.sync(0, t1, t1 + 18, &gm, &spec, 25);
+        assert_eq!(t2, t1 + 18 + 25);
+        sched.finish(0, t2, &gm, &spec);
+        assert_eq!(sched.flag_waits(), vec![0, 0, 0]);
+        assert_eq!(sched.round_waits(), vec![0, 25, 0]);
     }
 
     #[test]
-    fn per_round_waits_sum_over_blocks() {
+    fn kernel_end_alignment_charges_the_final_round() {
         let spec = spec_no_bw();
         let gm = Arc::new(GlobalMemory::new(1 << 20));
-        let sync = Arc::new(SharedSync::new(3));
-        let clocks = [100u64, 5000, 250];
+        let sched = Arc::new(Scheduler::new(2));
+        let ends = [400u64, 1000];
         std::thread::scope(|s| {
-            for &c in &clocks {
-                let sync = Arc::clone(&sync);
+            for (i, &e) in ends.iter().enumerate() {
+                let sched = Arc::clone(&sched);
                 let gm = Arc::clone(&gm);
                 let spec = spec.clone();
-                s.spawn(move || sync.sync(c, &gm, &spec, 7));
+                s.spawn(move || {
+                    sched.begin(i);
+                    assert_eq!(sched.finish(i, e, &gm, &spec), 1000);
+                });
             }
         });
-        // Each block waits (5007 - its clock); the round's entry sums them.
-        assert_eq!(sync.round_waits(), vec![4907 + 7 + 4757]);
-        assert_eq!(sync.total_wait_cycles(), 4907 + 7 + 4757);
+        assert_eq!(sched.rounds(), 1);
+        assert_eq!(sched.round_waits(), vec![600]);
+        assert_eq!(sched.flag_waits(), vec![0]);
+    }
+
+    #[test]
+    fn early_finisher_does_not_deadlock_a_barrier() {
+        // Block 0 errors out before the SyncAll that block 1 reaches: the
+        // barrier must resolve over the still-live blocks only.
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        let sched = Arc::new(Scheduler::new(2));
+        let (e0, e1) = std::thread::scope(|s| {
+            let a = {
+                let sched = Arc::clone(&sched);
+                let gm = Arc::clone(&gm);
+                let spec = spec.clone();
+                s.spawn(move || {
+                    sched.begin(0);
+                    sched.finish(0, 50, &gm, &spec)
+                })
+            };
+            let b = {
+                let sched = Arc::clone(&sched);
+                let gm = Arc::clone(&gm);
+                let spec = spec.clone();
+                s.spawn(move || {
+                    sched.begin(1);
+                    let (_, r) = sched.sync(1, 200, 218, &gm, &spec, 10);
+                    assert_eq!(r, 228, "resolved over block 1 alone");
+                    sched.finish(1, r, &gm, &spec)
+                })
+            };
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert_eq!(e0, 228);
+        assert_eq!(e1, 228);
+        assert_eq!(sched.rounds(), 2);
+    }
+
+    #[test]
+    fn flag_file_set_then_get() {
+        let flags = FlagFile::new();
+        assert_eq!(flags.get(3), None);
+        flags.set(3, 100);
+        assert_eq!(flags.get(3), Some(100));
+        flags.set(3, 40); // later set in program order overwrites
+        assert_eq!(flags.get(3), Some(40));
     }
 }

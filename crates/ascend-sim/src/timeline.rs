@@ -157,23 +157,33 @@ impl CoreTimeline {
         *self.free_at.iter().max().expect("non-empty engine set")
     }
 
-    /// Advances every engine's free time to at least `t` (used at global
-    /// barriers and when waiting on a cross-core event). The skipped-over
-    /// idle cycles are attributed as barrier waits on the engines this
-    /// core actually has.
-    pub fn align_to(&mut self, t: EventTime) {
+    /// Advances every engine's free time to at least `t`, attributing the
+    /// skipped-over idle cycles to `cause` on the engines this core
+    /// actually has. Used at global barriers ([`StallCause::Barrier`])
+    /// and when blocked on a cross-core flag ([`StallCause::Flag`]).
+    pub fn align_to_cause(&mut self, t: EventTime, cause: StallCause) {
         for (i, e) in EngineKind::ALL.iter().enumerate() {
             let f = self.free_at[i];
             if t > f {
                 if self.kind.has_engine(*e) {
-                    self.stalls.barrier[i] += t - f;
+                    match cause {
+                        StallCause::Barrier => self.stalls.barrier[i] += t - f,
+                        StallCause::Flag => self.stalls.flag[i] += t - f,
+                        StallCause::Dependency => self.stalls.dependency[i] += t - f,
+                    }
                     if let Some(rec) = &mut self.recorded_stalls {
-                        rec.push((*e, StallCause::Barrier, f, t));
+                        rec.push((*e, cause, f, t));
                     }
                 }
                 self.free_at[i] = t;
             }
         }
+    }
+
+    /// [`Self::align_to_cause`] with the barrier cause (global barriers
+    /// and kernel-end alignment).
+    pub fn align_to(&mut self, t: EventTime) {
+        self.align_to_cause(t, StallCause::Barrier);
     }
 
     /// Busy cycles accumulated on an engine.
@@ -285,16 +295,21 @@ mod tests {
         let b = core.exec(EngineKind::Vec, 5, &[120]).unwrap();
         assert_eq!(b, 165);
         assert_eq!(core.stalls().contention[EngineKind::Vec.index()], 40);
-        // Barrier alignment: idle 165 -> 200 is a barrier wait.
+        // Flag alignment: idle 165 -> 180 waiting on a cross-core flag.
+        core.align_to_cause(180, StallCause::Flag);
+        assert_eq!(core.stalls().flag[EngineKind::Vec.index()], 15);
+        // Barrier alignment: idle 180 -> 200 is a barrier wait.
         core.align_to(200);
-        assert_eq!(core.stalls().barrier[EngineKind::Vec.index()], 35);
-        // The idle partition closes: busy + dep + barrier == now - origin.
+        assert_eq!(core.stalls().barrier[EngineKind::Vec.index()], 20);
+        // The idle partition closes:
+        // busy + dep + barrier + flag == now - origin.
         let busy = core.busy_cycles(EngineKind::Vec);
-        assert_eq!(busy + 50 + 35, 200 - 100);
+        assert_eq!(busy + 50 + 20 + 15, 200 - 100);
         // Recorded intervals carry their causes.
         let stalls = core.recorded_stalls();
         assert!(stalls.contains(&(EngineKind::Vec, StallCause::Dependency, 100, 150)));
-        assert!(stalls.contains(&(EngineKind::Vec, StallCause::Barrier, 165, 200)));
+        assert!(stalls.contains(&(EngineKind::Vec, StallCause::Flag, 165, 180)));
+        assert!(stalls.contains(&(EngineKind::Vec, StallCause::Barrier, 180, 200)));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use crate::tensor::{GlobalTensor, LocalTensor};
 use ascend_sim::chip::ScratchpadKind;
 use ascend_sim::{
-    ChipSpec, CoreKind, CoreTimeline, CounterEvent, EngineKind, EventTime, ScratchTracker,
-    SimError, SimResult, SpanArgs, SpanId, SpanRecorder, TraceSpan,
+    ChipSpec, CoreKind, CoreTimeline, CounterEvent, EngineKind, EventTime, FlagFile,
+    ScratchTracker, SimError, SimResult, SpanArgs, SpanId, SpanRecorder, StallCause, TraceSpan,
 };
 use dtypes::{CubeInput, Element, Numeric};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,6 +16,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// recognized as foreign (and skipped) rather than confused with that
 /// core's own allocations.
 static NEXT_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide id source for simcheck cross-core ownership tracking.
+/// Uids never enter a [`ascend_sim::KernelReport`], so launch replay
+/// stays byte-identical regardless of how many cores were ever created.
+static NEXT_CORE_UID: AtomicU64 = AtomicU64::new(1);
 
 /// Comparison modes for the vector `Compare` intrinsic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +58,8 @@ pub struct Core<'a> {
     pub(crate) kind: CoreKind,
     pub(crate) timeline: CoreTimeline,
     pub(crate) spec: &'a ChipSpec,
+    /// Simcheck identity for cross-core scratchpad-aliasing checks.
+    uid: u64,
     scratch_used: [usize; NUM_SCRATCHPADS],
     tracker: ScratchTracker,
     /// Per-core tile/instruction spans (depth >= 2 in the span hierarchy:
@@ -71,6 +78,7 @@ impl<'a> Core<'a> {
             kind,
             timeline: CoreTimeline::new(kind, start),
             spec,
+            uid: NEXT_CORE_UID.fetch_add(1, Ordering::Relaxed),
             scratch_used: [0; NUM_SCRATCHPADS],
             tracker: ScratchTracker::new(spec.validation.lifetime_checks()),
             recorder: SpanRecorder::new(2),
@@ -226,26 +234,50 @@ impl<'a> Core<'a> {
             let id = NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed);
             self.tracker.on_alloc(id, idx, pos.name(), bytes, cap);
             t.alloc_id = id;
+            t.owner = self.uid;
         }
         Ok(t)
     }
 
     /// Releases a local tensor's scratchpad space. Freeing a buffer that
-    /// was already freed (a stale clone) is a use-after-free error.
+    /// was already freed (a stale clone) is a use-after-free error;
+    /// freeing a sibling core's buffer is a cross-core aliasing error.
     pub fn free_local<T: Element>(&mut self, t: LocalTensor<T>) -> SimResult<()> {
+        self.check_owner("free_local", t.owner)?;
         self.tracker.on_free(t.alloc_id, "free_local")?;
         let idx = pad_index(t.pos);
         self.scratch_used[idx] = self.scratch_used[idx].saturating_sub(t.len() * T::SIZE);
         Ok(())
     }
 
+    /// Simcheck identity for cross-core ownership tracking.
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Simcheck: a local tensor is only addressable by the core whose
+    /// scratchpad holds it. Real silicon has no path from one core's UB
+    /// or L0/L1 into another's; data crosses cores via global memory.
+    fn check_owner(&self, what: &'static str, owner: u64) -> SimResult<()> {
+        if self.spec.validation.lifetime_checks() && owner != 0 && owner != self.uid {
+            return Err(SimError::CrossCoreScratchpad {
+                what,
+                owner,
+                user: self.uid,
+            });
+        }
+        Ok(())
+    }
+
     /// Simcheck: validates that `t` is still a live allocation of this
-    /// core (no use-after-free, no overlap with a recycled range).
+    /// core (no use-after-free, no overlap with a recycled range, no
+    /// cross-core scratchpad aliasing).
     pub(crate) fn check_live<T: Element>(
         &self,
         what: &'static str,
         t: &LocalTensor<T>,
     ) -> SimResult<()> {
+        self.check_owner(what, t.owner)?;
         self.tracker.check_use(t.alloc_id, what)
     }
 
@@ -606,6 +638,52 @@ impl<'a> Core<'a> {
     pub fn scalar_ops(&mut self, n: u64, deps: &[EventTime]) -> SimResult<EventTime> {
         self.timeline
             .exec(EngineKind::Scalar, n * self.spec.cost_scalar_op(), deps)
+    }
+
+    // ---------------------------------------------------------------
+    // Cross-core flags
+    // ---------------------------------------------------------------
+
+    /// `CrossCoreSetFlag`: publishes flag `id` in the block's
+    /// [`FlagFile`](crate::BlockCtx::flags) once `after` (plus the
+    /// core's pending scalar work) retires. Costs
+    /// [`flag_set_cycles`](ChipSpec::flag_set_cycles) on the scalar
+    /// pipe — the pipe-drain and publish latency. Setting an already-set
+    /// flag overwrites it (AscendC semantics). Returns the cycle at
+    /// which the flag becomes observable to sibling cores.
+    pub fn set_flag(
+        &mut self,
+        flags: &FlagFile,
+        id: u32,
+        after: &[EventTime],
+    ) -> SimResult<EventTime> {
+        let done = self
+            .timeline
+            .exec(EngineKind::FLAG_ENGINE, self.spec.flag_set_cycles, after)?;
+        flags.set(id, done);
+        Ok(done)
+    }
+
+    /// `CrossCoreWaitFlag`: blocks this core until flag `id` lands.
+    /// Costs [`flag_wait_cycles`](ChipSpec::flag_wait_cycles) of scalar
+    /// poll work; any remaining idle time until the set is observable is
+    /// attributed to the `wait:flag` stall category. Returns the core's
+    /// resumption time.
+    ///
+    /// Waiting on a flag no instruction has set is an error: with the
+    /// deterministic schedule the set can never arrive later, so the
+    /// wait models a hardware deadlock.
+    pub fn wait_flag(&mut self, flags: &FlagFile, id: u32) -> SimResult<EventTime> {
+        let Some(set_at) = flags.get(id) else {
+            return Err(SimError::InvalidArgument(format!(
+                "CrossCoreWaitFlag on unset flag {id}: no prior CrossCoreSetFlag \
+                 is scheduled, so the wait would deadlock on hardware"
+            )));
+        };
+        self.timeline
+            .exec(EngineKind::FLAG_ENGINE, self.spec.flag_wait_cycles, &[])?;
+        self.timeline.align_to_cause(set_at, StallCause::Flag);
+        Ok(self.timeline.now())
     }
 }
 

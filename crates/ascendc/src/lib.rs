@@ -15,10 +15,13 @@
 //! two vector cores, exposed through [`BlockCtx`]. Kernel code is an
 //! ordinary Rust closure run once per block; every intrinsic both
 //! performs its real data movement/arithmetic and advances the simulated
-//! timeline of the engine it runs on. [`launch`] runs all blocks (on OS
-//! threads), applies the global bandwidth bound at every
-//! [`BlockCtx::sync_all`] barrier, and returns an
-//! [`ascend_sim::KernelReport`].
+//! timeline of the engine it runs on. [`launch`] drives all blocks as
+//! cooperative tasks under the deterministic event-driven scheduler
+//! (grids may exceed both the chip's AI cores and the host's — excess
+//! blocks wave-multiplex onto physical core slots), prices every
+//! [`BlockCtx::sync_all`] barrier from `CrossCoreSetFlag`/
+//! `CrossCoreWaitFlag` instructions plus the global bandwidth bound, and
+//! returns an [`ascend_sim::KernelReport`].
 
 pub mod block;
 pub mod core;
@@ -34,6 +37,6 @@ pub use vecops::Bits;
 
 pub use ascend_sim::chip::ScratchpadKind;
 pub use ascend_sim::{
-    ChipSpec, EventTime, KernelProfile, KernelReport, Profile, SimError, SimResult, SpanArgs,
-    SpanId, StallCause, StallTally,
+    ChipSpec, EventTime, FlagFile, KernelProfile, KernelReport, Profile, SimError, SimResult,
+    SpanArgs, SpanId, StallCause, StallTally,
 };

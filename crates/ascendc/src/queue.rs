@@ -30,6 +30,30 @@ pub struct TQue<T: Element> {
     in_flight: u32,
     /// (time, in-flight count) samples; observational only.
     occupancy: Vec<(EventTime, u32)>,
+    /// Simcheck: uid of the core whose scratchpad backs the pool
+    /// (0 = untracked). A sibling core's tensor smuggled across the
+    /// enque boundary is cross-core scratchpad aliasing.
+    owner: u64,
+    /// [`ValidationMode::Paranoid`](ascend_sim::ValidationMode):
+    /// checksum buffer contents at `enque`, verify at `deque`.
+    checksums: bool,
+    /// FIFO of FNV-1a content checksums, parallel to `queued`.
+    sums: VecDeque<u64>,
+}
+
+/// FNV-1a over the little-endian bytes of `data` — cheap, deterministic
+/// content fingerprint for the Paranoid enque/deque integrity check.
+fn fnv1a<T: Element>(data: &[T]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = [0u8; 16];
+    for v in data {
+        v.write_le(&mut buf[..T::SIZE]);
+        for &b in &buf[..T::SIZE] {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl<T: Element> TQue<T> {
@@ -48,6 +72,7 @@ impl<T: Element> TQue<T> {
         for _ in 0..depth {
             free.push_back(core.alloc_local::<T>(pos, buf_elems)?);
         }
+        let tracked = core.spec().validation.lifetime_checks();
         Ok(TQue {
             pos,
             buf_elems,
@@ -57,6 +82,9 @@ impl<T: Element> TQue<T> {
             name: None,
             in_flight: 0,
             occupancy: Vec::new(),
+            owner: if tracked { core.uid() } else { 0 },
+            checksums: core.spec().validation.checksums(),
+            sums: VecDeque::new(),
         })
     }
 
@@ -106,8 +134,21 @@ impl<T: Element> TQue<T> {
                 "enque: tensor from a different scratchpad",
             ));
         }
+        if self.owner != 0 && t.owner != 0 && t.owner != self.owner {
+            // The queue's pool lives in one core's scratchpad; a sibling
+            // core's buffer crossing the enque boundary would alias
+            // memory that is not addressable from the consumer side.
+            return Err(SimError::CrossCoreScratchpad {
+                what: "enque",
+                owner: t.owner,
+                user: self.owner,
+            });
+        }
         if self.queued.len() + self.free.len() >= self.depth {
             return Err(SimError::QueueOverflow { depth: self.depth });
+        }
+        if self.checksums {
+            self.sums.push_back(fnv1a(&t.data));
         }
         self.queued.push_back(t);
         Ok(())
@@ -115,10 +156,41 @@ impl<T: Element> TQue<T> {
 
     /// Takes the oldest published tensor (FIFO). Dequeuing before any
     /// `enque` — or twice for one `enque` — is a [`SimError::QueueUnderflow`].
+    ///
+    /// Under [`ValidationMode::Paranoid`](ascend_sim::ValidationMode)
+    /// the contents are re-checksummed and compared against the value
+    /// captured at `enque`; a mismatch means something mutated a buffer
+    /// while it sat in the queue (an aliasing or hand-off bug).
     pub fn deque(&mut self) -> SimResult<LocalTensor<T>> {
-        self.queued
+        let t = self
+            .queued
             .pop_front()
-            .ok_or(SimError::QueueUnderflow { op: "deque" })
+            .ok_or(SimError::QueueUnderflow { op: "deque" })?;
+        if self.checksums {
+            let expected = self.sums.pop_front().unwrap_or_default();
+            let actual = fnv1a(&t.data);
+            if actual != expected {
+                return Err(SimError::AccountingViolation {
+                    what: "paranoid enque/deque checksum",
+                    detail: format!(
+                        "buffer contents changed in flight (enqued {expected:#018x}, \
+                         dequed {actual:#018x}): a queued tensor was mutated before \
+                         its consumer read it"
+                    ),
+                });
+            }
+        }
+        Ok(t)
+    }
+
+    /// Test-only failure injection: mutates the oldest queued buffer in
+    /// place, as an aliasing producer would. Lets tests prove the
+    /// Paranoid checksum actually fires.
+    #[cfg(test)]
+    pub(crate) fn tamper_oldest_queued(&mut self, value: T) {
+        if let Some(t) = self.queued.front_mut() {
+            t.data[0] = value;
+        }
     }
 
     /// Returns a consumed tensor's buffer to the pool; `release` is the
@@ -158,12 +230,72 @@ impl<T: Element> TQue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ascend_sim::{ChipSpec, CoreKind};
+    use ascend_sim::{ChipSpec, CoreKind, ValidationMode};
 
     fn with_core<R>(f: impl FnOnce(&mut Core<'_>) -> R) -> R {
         let spec = ChipSpec::tiny();
         let mut core = Core::new(CoreKind::Vector, &spec, 0);
         f(&mut core)
+    }
+
+    #[test]
+    fn paranoid_checksums_catch_in_flight_mutation() {
+        let mut spec = ChipSpec::tiny();
+        spec.validation = ValidationMode::Paranoid;
+        let mut core = Core::new(CoreKind::Vector, &spec, 0);
+        let mut q = TQue::<i32>::new(&mut core, ScratchpadKind::Ub, 2, 8).unwrap();
+        // A clean hand-off round-trips fine under Paranoid.
+        let t = q.alloc_tensor().unwrap();
+        q.enque(t).unwrap();
+        let t = q.deque().unwrap();
+        q.free_tensor(t, 0);
+        // Failure injection: mutate the buffer while it sits in the
+        // queue, as an aliasing producer would.
+        let t = q.alloc_tensor().unwrap();
+        q.enque(t).unwrap();
+        q.tamper_oldest_queued(7);
+        let err = q.deque().unwrap_err();
+        assert!(matches!(err, SimError::AccountingViolation { .. }));
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn full_mode_does_not_pay_for_checksums() {
+        with_core(|core| {
+            assert!(!core.spec().validation.checksums());
+            let mut q = TQue::<i32>::new(core, ScratchpadKind::Ub, 1, 8).unwrap();
+            let t = q.alloc_tensor().unwrap();
+            q.enque(t).unwrap();
+            q.tamper_oldest_queued(7);
+            // Full mode skips content checksumming entirely.
+            assert!(q.deque().is_ok());
+        });
+    }
+
+    #[test]
+    fn cross_core_enque_is_rejected() {
+        let spec = ChipSpec::tiny();
+        let mut a = Core::new(CoreKind::Vector, &spec, 0);
+        let mut b = Core::new(CoreKind::Vector, &spec, 0);
+        let mut q = TQue::<u8>::new(&mut a, ScratchpadKind::Ub, 2, 8).unwrap();
+        // Failure injection: core b's buffer smuggled into core a's queue.
+        let foreign = b.alloc_local::<u8>(ScratchpadKind::Ub, 8).unwrap();
+        let err = q.enque(foreign).unwrap_err();
+        assert!(matches!(err, SimError::CrossCoreScratchpad { .. }));
+        assert!(err.to_string().contains("cross-core"));
+    }
+
+    #[test]
+    fn cross_core_use_and_free_are_rejected() {
+        let spec = ChipSpec::tiny();
+        let mut a = Core::new(CoreKind::Vector, &spec, 0);
+        let mut b = Core::new(CoreKind::Vector, &spec, 0);
+        let mut t = a.alloc_local::<f32>(ScratchpadKind::Ub, 8).unwrap();
+        // Failure injection: core b touches core a's scratchpad buffer.
+        let err = b.fill_local(&mut t, 0, 8, 1.0).unwrap_err();
+        assert!(matches!(err, SimError::CrossCoreScratchpad { .. }));
+        let err = b.free_local(t).unwrap_err();
+        assert!(matches!(err, SimError::CrossCoreScratchpad { .. }));
     }
 
     #[test]

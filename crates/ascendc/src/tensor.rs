@@ -139,6 +139,10 @@ pub struct LocalTensor<T: Element> {
     /// Simcheck lifetime id assigned by the allocating core's
     /// [`ScratchTracker`](ascend_sim::ScratchTracker); 0 = untracked.
     pub(crate) alloc_id: u64,
+    /// Simcheck owner: uid of the core whose scratchpad holds the
+    /// buffer; 0 = untracked. Scratchpads are private on real silicon —
+    /// a sibling core touching this tensor is a cross-core aliasing bug.
+    pub(crate) owner: u64,
 }
 
 impl<T: Element> LocalTensor<T> {
@@ -148,6 +152,7 @@ impl<T: Element> LocalTensor<T> {
             pos,
             ready,
             alloc_id: 0,
+            owner: 0,
         }
     }
 

@@ -10,7 +10,7 @@
 //! match the paper's ranges where feasible.
 //!
 //! `--json` skips the tables and instead writes `BENCH_scan.json`: one
-//! machine-readable `bench-scan/v1` document with a full
+//! machine-readable `bench-scan/v2` document with a full
 //! [`KernelReport`] (cycles, bandwidth, per-engine busy/stall
 //! breakdown, per-round barrier waits) for every paper scan kernel at a
 //! fixed large input length. The document is validated with
@@ -95,7 +95,7 @@ fn us(r: &KernelReport) -> String {
 }
 
 /// `--json`: runs every paper scan kernel once at a fixed input length
-/// and writes the structured `bench-scan/v1` report to `BENCH_scan.json`.
+/// and writes the structured `bench-scan/v2` report to `BENCH_scan.json`.
 fn json_report(spec: &ChipSpec, quick: bool) {
     let n: usize = if quick { 1 << 18 } else { 1 << 22 };
     let batch = 8usize;
@@ -158,7 +158,7 @@ fn json_report(spec: &ChipSpec, quick: bool) {
 
     let kernels: Vec<String> = reports.iter().map(|r| r.to_json(spec)).collect();
     let doc = format!(
-        "{{\"schema\":\"bench-scan/v1\",\"chip\":{{\"name\":\"{}\",\"ai_cores\":{},\
+        "{{\"schema\":\"bench-scan/v2\",\"chip\":{{\"name\":\"{}\",\"ai_cores\":{},\
          \"clock_ghz\":{},\"hbm_gbps\":{:.1}}},\"n\":{},\"s\":{},\"kernels\":[{}]}}\n",
         spec.name,
         spec.ai_cores,
@@ -437,6 +437,37 @@ fn fig12(spec: &ChipSpec, quick: bool) {
     }
     t.print();
     println!("  paper: s = 64/128 reach ~400 GB/s; s = 16 performs like the baseline\n");
+
+    // Additional L2-resident shapes: same 4M-element working set carved
+    // into more, shorter rows. The whole set (x + w + y at fp16) stays
+    // inside the 910B4's L2, so these run at L2 rather than HBM
+    // bandwidth and expose the per-row scheduling overhead instead.
+    println!("  -- L2-resident shapes (batch x len, fp16, s = 128) --");
+    let shapes: Vec<(usize, usize)> = if quick {
+        vec![(64, 32768)]
+    } else {
+        vec![(64, 32768), (128, 16384)]
+    };
+    let mut t2 = Table::new(&["shape", "GB/s", "us", "baseline GB/s"]);
+    for &(b, len) in &shapes {
+        let data = vec![F16::ZERO; b * len];
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let r = batched_scanu::<F16, F16>(spec, &gm, &x, b, len, 128)
+            .unwrap()
+            .report;
+        let gm = fresh_gm(spec);
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let base = bench::batched_cumsum_baseline(spec, &gm, &x, b, len).unwrap();
+        t2.row(vec![
+            format!("{b}x{}", human(len)),
+            format!("{:.0}", r.gbps()),
+            us(&r),
+            format!("{:.0}", base.gbps()),
+        ]);
+    }
+    t2.print();
+    println!();
 }
 
 /// Fig. 13 — top-p sampling time vs vocabulary size (batch 1).
@@ -569,7 +600,12 @@ fn ablation(spec: &ChipSpec, quick: bool) {
     t.print();
     println!("  recomputation beats SSA everywhere and stays within ~10% of RSS (both move");
     println!("  ~10 B/elem); unlike RSS it also avoids per-tile cube->vector flag traffic,");
-    println!("  which the timing model prices at zero but real silicon does not\n");
+    println!("  which the timing model now prices explicitly (CrossCoreSetFlag/WaitFlag");
+    println!(
+        "  pairs, {} + {} cycles each on this preset)\n",
+        ChipSpec::ascend_910b4().flag_set_cycles,
+        ChipSpec::ascend_910b4().flag_wait_cycles
+    );
 }
 
 /// The paper's future-work expectation: low-bit-width sorting gets

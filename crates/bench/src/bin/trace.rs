@@ -10,7 +10,8 @@
 //! a measurement run executes: named phase spans ("Phase I", "SyncAll",
 //! "VecPropagation"), per-tile spans with bytes/kind/queue-depth args,
 //! per-engine busy intervals interleaved with `wait:dep` /
-//! `wait:barrier` stall intervals, and `TQue` occupancy counters. Open
+//! `wait:flag` / `wait:barrier` stall intervals, and `TQue` occupancy
+//! counters. Open
 //! the produced JSON at <https://ui.perfetto.dev> (or chrome://tracing)
 //! — the double-buffered pipelines of Fig. 2 and the two phases of
 //! Fig. 6 are directly visible.
@@ -109,24 +110,26 @@ fn print_summary(k: &KernelProfile) {
         busy[e.engine.index()] += e.end.saturating_sub(e.start);
     }
     println!(
-        "  {:<8} {:>14} {:>14} {:>14} {:>14}",
-        "engine", "busy", "dep-wait", "barrier-wait", "contention"
+        "  {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "engine", "busy", "dep-wait", "flag-wait", "barrier-wait", "contention"
     );
     for engine in EngineKind::ALL {
         let i = engine.index();
-        let (d, c, b) = (
+        let (d, c, f, b) = (
             k.stalls.dependency[i],
             k.stalls.contention[i],
+            k.stalls.flag[i],
             k.stalls.barrier[i],
         );
-        if busy[i] == 0 && d == 0 && c == 0 && b == 0 {
+        if busy[i] == 0 && d == 0 && c == 0 && f == 0 && b == 0 {
             continue;
         }
         println!(
-            "  {:<8} {:>14} {:>14} {:>14} {:>14}",
+            "  {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
             engine.name(),
             busy[i],
             d,
+            f,
             b,
             c
         );

@@ -170,6 +170,7 @@ pub fn build_alias_table(
         sync_rounds: 0,
         stalls: Default::default(),
         barrier_waits: Vec::new(),
+        flag_waits: Vec::new(),
     };
     pairing.engine_busy[EngineKind::Scalar.index()] = pairing_cycles;
 

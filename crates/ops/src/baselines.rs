@@ -70,6 +70,7 @@ fn modeled_report(
         sync_rounds: 0,
         stalls: Default::default(),
         barrier_waits: Vec::new(),
+        flag_waits: Vec::new(),
     }
 }
 

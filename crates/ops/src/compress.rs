@@ -60,6 +60,7 @@ pub fn compress<E: Element>(
                 sync_rounds: 0,
                 stalls: Default::default(),
                 barrier_waits: Vec::new(),
+                flag_waits: Vec::new(),
             },
         });
     }

@@ -129,6 +129,7 @@ fn empty_report(spec: &ChipSpec) -> KernelReport {
         sync_rounds: 0,
         stalls: Default::default(),
         barrier_waits: Vec::new(),
+        flag_waits: Vec::new(),
     }
 }
 

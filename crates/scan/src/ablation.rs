@@ -23,13 +23,14 @@
 //!
 //! The `figures ablation` experiment compares all four. In the model,
 //! the recomputing MCScan beats SSA everywhere (less traffic) and stays
-//! within ~10% of RSS, which moves the same ~10 bytes/element. The
-//! model's honest limitation: it prices AIC→AIV flag synchronization at
-//! zero, which flatters RSS and strided-totals — both depend on per-tile
-//! cube→vector hand-offs that are expensive on the split 910B
-//! architecture (§3.1: "each data transfer between the AIC and AIV
-//! cores might be expensive"), which is precisely why the paper's
-//! recomputation strategy avoids them.
+//! within ~10% of RSS, which moves the same ~10 bytes/element. Every
+//! per-tile cube→vector hand-off is an explicit, *priced*
+//! `CrossCoreSetFlag`/`CrossCoreWaitFlag` pair (`flag_set_cycles` on the
+//! producer, `flag_wait_cycles` plus the observed skew on the consumer)
+//! rather than a free timestamp edge — the cost §3.1 warns about ("each
+//! data transfer between the AIC and AIV cores might be expensive") and
+//! precisely what the paper's recomputation strategy avoids paying per
+//! tile.
 
 use crate::mcscan::{mcscan, McScanConfig, ScanKind};
 use crate::triangular::ScanConstants;
@@ -173,16 +174,23 @@ where
 }
 
 /// Cube phase shared by all variants: tile-local scans into `w`.
-/// Returns the completion event of each tile.
+///
+/// Publishes a `CrossCoreSetFlag` per tile when its `w` slice lands in
+/// GM and returns the flag ids; the vector side pays a matching
+/// `CrossCoreWaitFlag` before reading. Real silicon has a small flag-id
+/// space that kernels must cycle through; the simulator's per-block flag
+/// file is unbounded, so the tile index serves as the id.
+#[allow(clippy::too_many_arguments)]
 fn cube_tile_scans<T, M>(
     cube: &mut ascendc::Core<'_>,
+    flags: &ascendc::FlagFile,
     consts: &ScanConstants<T>,
     x: &GlobalTensor<T>,
     w: &GlobalTensor<M>,
     tiles: &[(usize, usize)],
     s: usize,
     l: usize,
-) -> SimResult<Vec<ascendc::EventTime>>
+) -> SimResult<Vec<u32>>
 where
     T: CubeInput,
     M: Numeric,
@@ -201,8 +209,8 @@ where
     };
     let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?;
     let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?;
-    let mut evs = Vec::with_capacity(tiles.len());
-    for &(off, valid) in tiles {
+    let mut ids = Vec::with_capacity(tiles.len());
+    for (i, &(off, valid)) in tiles.iter().enumerate() {
         let rows = valid.div_ceil(s);
         let mut la = qa.alloc_tensor()?;
         if valid < rows * s {
@@ -214,12 +222,14 @@ where
         qa.free_tensor(la, mm);
         let ev = cube.copy_out_cast::<T::Acc, M>(w, off, &lc, 0, valid, &[])?;
         qc.free_tensor(lc, ev);
-        evs.push(ev);
+        let id = i as u32;
+        cube.set_flag(flags, id, &[ev])?;
+        ids.push(id);
     }
     qa.destroy(cube)?;
     qc.destroy(cube)?;
     cube.free_local(lb)?;
-    Ok(evs)
+    Ok(ids)
 }
 
 /// Strided-totals variant: block totals come from the cube output.
@@ -253,8 +263,9 @@ where
             let (tl, tc) = chunk_tiles[block * vec_per_core + vec_per_core - 1];
             (t0, tl + tc)
         };
-        let evs = cube_tile_scans::<T, M>(
+        let tile_flags = cube_tile_scans::<T, M>(
             &mut ctx.cube,
+            &ctx.flags,
             &consts,
             x,
             &w,
@@ -267,6 +278,7 @@ where
         for v in 0..vec_per_core {
             let chunk = block * vec_per_core + v;
             let (t0, tcount) = chunk_tiles[chunk];
+            let flags = &ctx.flags;
             let vc = &mut ctx.vecs[v];
             let mut totals = vc.alloc_local::<M>(ScratchpadKind::Ub, l / s)?;
             let mut totals_o = vc.alloc_local::<O>(ScratchpadKind::Ub, l / s)?;
@@ -276,9 +288,9 @@ where
                 let rows = valid.div_ceil(s);
                 let full_rows = valid / s;
                 // Strided gather: last element of each complete s-row.
-                // Waits for the cube to have produced this tile
-                // (cross-core dep).
-                let dep = evs[t0 - my_tiles_range.0 + ti];
+                // A priced CrossCoreWaitFlag blocks this vector core
+                // until the cube has produced the tile.
+                let dep = vc.wait_flag(flags, tile_flags[t0 - my_tiles_range.0 + ti])?;
                 if full_rows > 0 {
                     vc.copy_in_2d(&mut totals, &w, off + s - 1, full_rows, 1, s, &[dep])?;
                 }
@@ -302,7 +314,7 @@ where
             vc.free_local(totals)?;
             vc.free_local(totals_o)?;
         }
-        ctx.sync_all();
+        ctx.sync_all()?;
         // Phase 2: identical propagation.
         for v in 0..vec_per_core {
             let chunk = block * vec_per_core + v;
@@ -353,13 +365,22 @@ where
         let first = block * vec_per_core;
         let (t0, _) = chunk_tiles[first];
         let (tl, tc) = chunk_tiles[first + vec_per_core - 1];
-        let evs =
-            cube_tile_scans::<T, M>(&mut ctx.cube, &consts, x, &w, &tiles[t0..tl + tc], s, l)?;
+        let tile_flags = cube_tile_scans::<T, M>(
+            &mut ctx.cube,
+            &ctx.flags,
+            &consts,
+            x,
+            &w,
+            &tiles[t0..tl + tc],
+            s,
+            l,
+        )?;
         // Phase 1b: full chunk-local scan (rows propagated from zero),
         // written to y; chunk total goes to r.
         for v in 0..vec_per_core {
             let chunk = first + v;
             let (c0, ccount) = chunk_tiles[chunk];
+            let flags = &ctx.flags;
             let vc = &mut ctx.vecs[v];
             let ub = vc.spec().ub_capacity;
             let depth = if 2 * l * M::SIZE + l * O::SIZE + 64 <= ub {
@@ -372,8 +393,9 @@ where
             let mut partial = O::zero();
             let mut partial_ready = 0;
             for (ti, &(off, valid)) in tiles[c0..c0 + ccount].iter().enumerate() {
+                let dep = vc.wait_flag(flags, tile_flags[c0 - t0 + ti])?;
                 let mut piece = q.alloc_tensor()?;
-                vc.copy_in(&mut piece, 0, &w, off, valid, &[evs[c0 - t0 + ti]])?;
+                vc.copy_in(&mut piece, 0, &w, off, valid, &[dep])?;
                 let cast_done = vc.vcast::<M, O>(&mut buf, &piece, 0, valid)?;
                 q.free_tensor(piece, cast_done);
                 for (row_off, row_len) in tile_spans(valid, s) {
@@ -391,7 +413,7 @@ where
             vc.free_local(buf)?;
             q.destroy(vc)?;
         }
-        ctx.sync_all();
+        ctx.sync_all()?;
         // Phase 2: broadcast-add the scanned chunk offsets (uniform per
         // chunk — one Adds per tile, no per-row chain).
         for v in 0..vec_per_core {
@@ -482,18 +504,27 @@ where
             vc.free_local(acc)?;
             qin.destroy(vc)?;
         }
-        ctx.sync_all();
+        ctx.sync_all()?;
         // Phase 2: cube tile scans + vector propagation with the chunk
         // offset folded into the running partial (per-tile cube→vector
         // dependencies — the serialization MCScan's phase split avoids).
         let first = block * vec_per_core;
         let (t0, _) = chunk_tiles[first];
         let (tl, tc) = chunk_tiles[first + vec_per_core - 1];
-        let evs =
-            cube_tile_scans::<T, M>(&mut ctx.cube, &consts, x, &w, &tiles[t0..tl + tc], s, l)?;
+        let tile_flags = cube_tile_scans::<T, M>(
+            &mut ctx.cube,
+            &ctx.flags,
+            &consts,
+            x,
+            &w,
+            &tiles[t0..tl + tc],
+            s,
+            l,
+        )?;
         for v in 0..vec_per_core {
             let chunk = first + v;
             let (c0, ccount) = chunk_tiles[chunk];
+            let flags = &ctx.flags;
             let vc = &mut ctx.vecs[v];
             let mut r_ub = vc.alloc_local::<O>(ScratchpadKind::Ub, chunks_total)?;
             vc.copy_in(&mut r_ub, 0, &r, 0, chunks_total, &[])?;
@@ -512,8 +543,9 @@ where
             let mut q = TQue::<M>::new(vc, ScratchpadKind::Ub, depth, l)?;
             let mut buf = vc.alloc_local::<O>(ScratchpadKind::Ub, l)?;
             for (ti, &(off, valid)) in tiles[c0..c0 + ccount].iter().enumerate() {
+                let dep = vc.wait_flag(flags, tile_flags[c0 - t0 + ti])?;
                 let mut piece = q.alloc_tensor()?;
-                vc.copy_in(&mut piece, 0, &w, off, valid, &[evs[c0 - t0 + ti]])?;
+                vc.copy_in(&mut piece, 0, &w, off, valid, &[dep])?;
                 let cast_done = vc.vcast::<M, O>(&mut buf, &piece, 0, valid)?;
                 q.free_tensor(piece, cast_done);
                 for (row_off, row_len) in tile_spans(valid, s) {

@@ -383,6 +383,39 @@ mod tests {
     }
 
     #[test]
+    fn int8_batched_rows_agree_with_mcscan_per_row() {
+        // Cross-check the int8 specialization across schedules: each row
+        // of a batched ScanU/ScanUL1 run must equal a standalone MCScan
+        // of that row (and the host reference).
+        use crate::mcscan::{mcscan, McScanConfig, ScanKind};
+        let (spec, gm) = setup();
+        let (batch, len) = (4, 450);
+        let data: Vec<i8> = (0..batch * len)
+            .map(|i| ((i * 11) % 13) as i8 - 6)
+            .collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let expect = rows_reference(&data, batch, len);
+        let u = batched_scanu::<i8, i32>(&spec, &gm, &x, batch, len, 16).unwrap();
+        let ul1 = batched_scanul1::<i8, i32>(&spec, &gm, &x, batch, len, 16).unwrap();
+        assert_eq!(u.y.to_vec(), expect);
+        assert_eq!(ul1.y.to_vec(), expect);
+        let cfg = McScanConfig {
+            s: 16,
+            blocks: 2,
+            kind: ScanKind::Inclusive,
+        };
+        for b in 0..batch {
+            let row = x.slice(b * len, len).unwrap();
+            let mc = mcscan::<i8, i32, i32>(&spec, &gm, &row, cfg).unwrap();
+            assert_eq!(
+                mc.y.to_vec(),
+                expect[b * len..(b + 1) * len],
+                "row {b} disagrees between MCScan and the batched schedules"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_shape_mismatch() {
         let (spec, gm) = setup();
         let x = GlobalTensor::from_slice(&gm, &[1i8; 100]).unwrap();

@@ -221,7 +221,7 @@ where
         ctx.span_end(phase1);
 
         // ---------------- SyncAll (Line 15) ----------------
-        ctx.sync_all();
+        ctx.sync_all()?;
 
         // ---------------- Phase II (Lines 16-26) ----------------
         let phase2 = ctx.span_begin("Phase II");

@@ -80,8 +80,8 @@ where
         // (s values per tile instead of s^2 — the reduction's traffic
         // advantage over scan).
         let phase = ctx.span_begin("CubeRowSums");
-        let mut evs_per_chunk: Vec<Vec<ascendc::EventTime>> = vec![Vec::new(); vec_per_core];
         {
+            let flags = &ctx.flags;
             let cube = &mut ctx.cube;
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
             cube.copy_in(&mut lb, 0, &consts.ones, 0, l, &[])?;
@@ -123,7 +123,9 @@ where
                         },
                     );
                     cube.span_end_at(tile, ev);
-                    evs_per_chunk[v].push(ev);
+                    // Priced AIC→AIV hand-off: one CrossCoreSetFlag per
+                    // tile, matched by the consumer's CrossCoreWaitFlag.
+                    cube.set_flag(flags, (t0 + ti) as u32, &[ev])?;
                 }
             }
             cube.free_local(lb)?;
@@ -133,26 +135,20 @@ where
         ctx.span_end(phase);
         let phase = ctx.span_begin("VecAccumulate");
         // Vector cores: accumulate each chunk's row-sum columns.
-        // (Index loop: `v` addresses ctx.vecs, evs_per_chunk, and the
-        // chunk id at once.)
+        // (Index loop: `v` addresses ctx.vecs and the chunk id at once.)
         #[allow(clippy::needless_range_loop)]
         for v in 0..vec_per_core {
             let chunk = block * vec_per_core + v;
             let (t0, tcount) = chunk_tiles[chunk];
+            let flags = &ctx.flags;
             let vc = &mut ctx.vecs[v];
             let mut buf = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, s)?;
             let mut total = T::Acc::zero();
             let mut total_ready = 0;
             for (ti, &(_, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
                 let rows = valid.div_ceil(s);
-                vc.copy_in(
-                    &mut buf,
-                    0,
-                    &cols,
-                    (t0 + ti) * s,
-                    rows,
-                    &[evs_per_chunk[v][ti]],
-                )?;
+                let dep = vc.wait_flag(flags, (t0 + ti) as u32)?;
+                vc.copy_in(&mut buf, 0, &cols, (t0 + ti) * s, rows, &[dep])?;
                 let (sum, ready) = vc.reduce_sum(&buf, 0, rows)?;
                 total = total.add(sum);
                 total_ready = vc.scalar_ops(1, &[ready, total_ready])?;
@@ -164,7 +160,7 @@ where
             vc.free_local(buf)?;
         }
         ctx.span_end(phase);
-        ctx.sync_all();
+        ctx.sync_all()?;
         // Final: block 0's first vector core folds the chunk partials.
         if ctx.block_idx == 0 {
             let vc = &mut ctx.vecs[0];
@@ -243,7 +239,7 @@ where
             qin.destroy(vc)?;
         }
         ctx.span_end(phase);
-        ctx.sync_all();
+        ctx.sync_all()?;
         if ctx.block_idx == 0 {
             let vc = &mut ctx.vecs[0];
             let mut r_ub = vc.alloc_local::<T::Acc>(ScratchpadKind::Ub, chunks_total)?;

@@ -144,6 +144,10 @@ fn assert_reports_identical(plain: &KernelReport, profiled: &KernelReport, kerne
         "{kernel}: barrier waits differ"
     );
     assert_eq!(
+        plain.flag_waits, profiled.flag_waits,
+        "{kernel}: flag waits differ"
+    );
+    assert_eq!(
         (plain.bytes_read, plain.bytes_written),
         (profiled.bytes_read, profiled.bytes_written),
         "{kernel}: HBM traffic differs"
@@ -221,6 +225,7 @@ fn mcscan_profile_carries_phases_stalls_and_counters() {
     assert!(!k.stall_events.is_empty(), "stall intervals recorded");
     assert_eq!(run.report.sync_rounds, 1);
     assert_eq!(run.report.barrier_waits.len(), 2);
+    assert_eq!(run.report.flag_waits.len(), 2);
     assert!(run.report.stalls.total_idle() > 0);
 
     // Named TQue occupancy counters made it across the queue boundary.
@@ -236,6 +241,7 @@ fn mcscan_profile_carries_phases_stalls_and_counters() {
         "SyncAll",
         "wait:dep",
         "wait:barrier",
+        "wait:flag",
         "\"ph\":\"C\"",
     ] {
         assert!(json.contains(needle), "chrome trace missing {needle:?}");
@@ -260,6 +266,7 @@ fn kernel_report_json_has_the_stable_schema() {
         "\"gelems\":",
         "\"fraction_of_peak\":",
         "\"barrier_wait_cycles\":",
+        "\"flag_wait_cycles\":",
         "\"engines\":",
         "\"CUBE\":",
         "\"VEC\":",
@@ -267,6 +274,7 @@ fn kernel_report_json_has_the_stable_schema() {
         "\"stall_dependency\":",
         "\"stall_contention\":",
         "\"stall_barrier\":",
+        "\"stall_flag\":",
         "\"utilization\":",
     ] {
         assert!(json.contains(key), "report JSON missing {key}");

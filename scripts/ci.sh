@@ -18,16 +18,30 @@ echo "==> perf report smoke: figures --json + trace"
 # before writing; CI additionally pins the stable schema keys.
 cargo run --release -p bench --bin figures -- --json --quick
 test -s BENCH_scan.json
-for key in '"schema":"bench-scan/v1"' '"name":' '"cycles":' '"time_us":' \
+for key in '"schema":"bench-scan/v2"' '"name":' '"cycles":' '"time_us":' \
     '"gbps":' '"traffic_gbps":' '"gelems":' '"fraction_of_peak":' \
     '"engines":' '"busy_cycles":' '"stall_dependency":' \
-    '"stall_contention":' '"stall_barrier":' '"barrier_wait_cycles":'; do
+    '"stall_contention":' '"stall_barrier":' '"stall_flag":' \
+    '"barrier_wait_cycles":' '"flag_wait_cycles":'; do
   grep -qF "$key" BENCH_scan.json \
     || { echo "BENCH_scan.json missing required key $key"; exit 1; }
 done
+
+echo "==> determinism gate: two figure runs must be byte-identical"
+# The cooperative scheduler makes launches seed-independent; any drift
+# between two back-to-back runs is a scheduler regression.
+mv BENCH_scan.json BENCH_scan.first.json
+cargo run --release -p bench --bin figures -- --json --quick
+cmp BENCH_scan.first.json BENCH_scan.json \
+  || { echo "BENCH_scan.json is not byte-stable across runs"; exit 1; }
+rm -f BENCH_scan.first.json
+
+echo "==> oversubscribed smoke: grids larger than the host"
+cargo test -q -p ascendc oversubscribed_launch_is_deterministic
+
 cargo run --release -p bench --bin trace -- mcscan 65536 mcscan_trace.json
 test -s mcscan_trace.json
-for key in '"traceEvents"' 'Phase I' 'Phase II' 'SyncAll' 'wait:dep' 'wait:barrier'; do
+for key in '"traceEvents"' 'Phase I' 'Phase II' 'SyncAll' 'wait:dep' 'wait:barrier' 'wait:flag'; do
   grep -qF "$key" mcscan_trace.json \
     || { echo "mcscan_trace.json missing $key"; exit 1; }
 done
