@@ -94,6 +94,11 @@ pub struct ChipSpec {
     /// scalar pipe. Cycles spent blocked beyond this until the producer's
     /// set lands are attributed separately as `wait:flag` stall time.
     pub flag_wait_cycles: u64,
+    /// Number of cross-core flag ids per block. Real silicon exposes a
+    /// small fixed flag register file; `CrossCoreSetFlag`/`WaitFlag` with
+    /// `id >= flag_id_limit` is rejected with
+    /// [`SimError::FlagIdOutOfRange`](crate::SimError::FlagIdOutOfRange).
+    pub flag_id_limit: u32,
 
     // ---- Validation ----
     /// How much runtime sanitizer checking (`simcheck`) the simulator
@@ -140,6 +145,7 @@ impl ChipSpec {
             sync_all_cycles: 2_700, // ~1.5 us barrier release latency
             flag_set_cycles: 180,   // ~100 ns pipe drain + flag publish
             flag_wait_cycles: 540,  // ~300 ns cross-core flag observation
+            flag_id_limit: 16,      // hardware cross-core flag registers
 
             validation: ValidationMode::Full,
         }
@@ -184,6 +190,7 @@ impl ChipSpec {
             sync_all_cycles: 50,
             flag_set_cycles: 6,
             flag_wait_cycles: 18,
+            flag_id_limit: 8,
 
             validation: ValidationMode::Full,
         }
@@ -390,6 +397,7 @@ mod tests {
             assert!(spec.flag_set_cycles > 0, "{}: free SetFlag", spec.name);
             assert!(spec.flag_wait_cycles > 0, "{}: free WaitFlag", spec.name);
             assert!(spec.sync_all_cycles > 0, "{}: free SyncAll", spec.name);
+            assert!(spec.flag_id_limit > 0, "{}: no flag registers", spec.name);
         }
     }
 

@@ -97,6 +97,26 @@ pub enum SimError {
         /// Human-readable details of the mismatch.
         detail: String,
     },
+    /// A `CrossCoreSetFlag`/`CrossCoreWaitFlag` used a flag id beyond the
+    /// chip's flag register file (`ChipSpec::flag_id_limit`). Real
+    /// silicon has a small fixed id space; an out-of-range id silently
+    /// aliases another flag.
+    FlagIdOutOfRange {
+        /// The offending flag id.
+        id: u32,
+        /// The chip's flag-id limit (valid ids are `0..limit`).
+        limit: u32,
+    },
+    /// The post-launch schedule analyzer (`simlint`, see the `hb`
+    /// module) found an error-severity hazard: a cross-block GM data
+    /// race, an unmatched flag wait, a flag id reused across barrier
+    /// rounds, or a happens-before cycle.
+    ScheduleHazard {
+        /// The diagnostic code (e.g. "gm-race", "flag-reuse").
+        what: &'static str,
+        /// Human-readable details of the hazard.
+        detail: String,
+    },
     /// An instruction was given invalid arguments (shape mismatch etc.).
     InvalidArgument(String),
     /// An instruction was issued on a core that lacks the engine
@@ -162,6 +182,14 @@ impl fmt::Display for SimError {
             SimError::QueueProtocol(msg) => write!(f, "queue protocol violation: {msg}"),
             SimError::AccountingViolation { what, detail } => {
                 write!(f, "accounting violation ({what}): {detail}")
+            }
+            SimError::FlagIdOutOfRange { id, limit } => write!(
+                f,
+                "flag id {id} out of range: the chip has {limit} cross-core flag registers \
+                 (valid ids are 0..{limit})"
+            ),
+            SimError::ScheduleHazard { what, detail } => {
+                write!(f, "schedule hazard ({what}): {detail}")
             }
             SimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SimError::WrongCore { instr, core } => {
@@ -240,5 +268,16 @@ mod tests {
             detail: "off by 4".into(),
         };
         assert!(e.to_string().contains("bytes_read"));
+
+        let e = SimError::FlagIdOutOfRange { id: 17, limit: 16 };
+        assert!(e.to_string().contains("flag id 17"));
+        assert!(e.to_string().contains("0..16"));
+
+        let e = SimError::ScheduleHazard {
+            what: "gm-race",
+            detail: "blocks 0 and 1 both write [0, 64)".into(),
+        };
+        assert!(e.to_string().contains("gm-race"));
+        assert!(e.to_string().contains("blocks 0 and 1"));
     }
 }

@@ -1,0 +1,1000 @@
+//! Happens-before schedule analysis — the engine behind `simlint`.
+//!
+//! A launch's recorded [`HbEvent`] stream (see [`crate::trace`]) is a set
+//! of per-`(block, core)` program-order threads plus synchronization
+//! actions. This module rebuilds the happens-before partial order the
+//! schedule actually guarantees and checks the schedule against it:
+//!
+//! * **program order** — events of one `(block, core)` thread in record
+//!   order;
+//! * **flag edges** — a `CrossCoreSetFlag` happens-before the
+//!   `CrossCoreWaitFlag` that consumed its token;
+//! * **queue edges** — the i-th `enque` on a `TQue` happens-before the
+//!   i-th `deque`;
+//! * **barrier rounds** — everything program-order-before any core's
+//!   `SyncAll` arrival happens-before everything after any core's release
+//!   in the same round (grid-wide rendezvous).
+//!
+//! Vector clocks over a topological order of this graph answer
+//! `a happens-before b` in O(1), which powers the diagnostics:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | `gm-race` | error | conflicting GM accesses with no HB path |
+//! | `hb-cycle` | error | the sync edges contradict program order (deadlock shape) |
+//! | `unmatched-wait` | error | a `wait_flag` consuming a token no set published |
+//! | `flag-reuse` | error | a flag id reused across barrier rounds while an older round's set is still pending |
+//! | `flag-leak` | warning | a set no wait ever consumed |
+//! | `queue-unbalanced` | warning | enque/deque counts differ on a queue |
+//! | `queue-leak` | warning | a queue created but never destroyed |
+//! | `alloc-leak` | warning | a scratchpad allocation never freed |
+//! | `dead-transfer` | warning | a GM write overwritten without any possible reader |
+//!
+//! The analysis is *sound for the recorded schedule*: unlike the runtime
+//! `simcheck` layer, which only observes the one interleaving the
+//! deterministic scheduler produced, a missing HB path is flagged even
+//! when the replayed timing happened to order the accesses safely
+//! (AccelSync-style sync-coverage checking).
+//!
+//! Error-severity findings abort a `ValidationMode::Full`/`Paranoid`
+//! launch via [`crate::simcheck::audit_schedule`]; the `simlint` CLI
+//! additionally fails on warnings, keeping shipped kernels lint-clean.
+
+use crate::trace::{HbAction, HbEvent};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Definite schedule bug: fails Full-validation launches in-process.
+    Error,
+    /// Hygiene finding: reported, and fails the `simlint` CLI, but does
+    /// not abort a launch.
+    Warning,
+}
+
+impl Severity {
+    /// Display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One schedule finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `"gm-race"`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        )
+    }
+}
+
+/// Most races reported individually before summarizing the rest.
+const RACE_REPORT_CAP: usize = 20;
+
+fn core_name(core: u32) -> String {
+    if core == 0 {
+        "cube".to_string()
+    } else {
+        format!("vec{}", core - 1)
+    }
+}
+
+fn place(e: &HbEvent) -> String {
+    format!(
+        "block {} {} `{}` @{}",
+        e.block,
+        core_name(e.core),
+        e.what,
+        e.time
+    )
+}
+
+/// One GM access extracted from the event stream.
+#[derive(Clone, Copy)]
+struct Access {
+    start: u64,
+    end: u64,
+    write: bool,
+    node: usize,
+}
+
+/// Analyzes a launch's happens-before event stream and returns every
+/// finding, errors first, in a deterministic order.
+///
+/// Events of one `(block, core)` pair must appear in program order
+/// (the order [`crate::trace::HbRecorder::take`] and the trace JSON
+/// preserve); threads may otherwise interleave arbitrarily.
+pub fn analyze(events: &[HbEvent]) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let n = events.len();
+
+    // ---- Thread discovery + program order -------------------------------
+    let mut thread_ids: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut thread_of: Vec<usize> = Vec::with_capacity(n);
+    let mut pos_in_thread: Vec<u32> = Vec::with_capacity(n);
+    let mut epoch: Vec<u32> = Vec::with_capacity(n);
+    let mut last_of_thread: Vec<Option<usize>> = Vec::new();
+    let mut epoch_of_thread: Vec<u32> = Vec::new();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in events.iter().enumerate() {
+        let next_tid = thread_ids.len();
+        let tid = *thread_ids.entry((e.block, e.core)).or_insert(next_tid);
+        if tid == last_of_thread.len() {
+            last_of_thread.push(None);
+            epoch_of_thread.push(0);
+        }
+        thread_of.push(tid);
+        if let Some(prev) = last_of_thread[tid] {
+            pos_in_thread.push(pos_in_thread[prev] + 1);
+            preds[i].push(prev);
+        } else {
+            pos_in_thread.push(0);
+        }
+        last_of_thread[tid] = Some(i);
+        epoch.push(epoch_of_thread[tid]);
+        if matches!(e.action, HbAction::Barrier { .. }) {
+            epoch_of_thread[tid] += 1;
+        }
+    }
+    let nthreads = thread_ids.len();
+
+    // ---- Sync edges ------------------------------------------------------
+    // Flag token pairing: (block, token) -> set / wait node.
+    let mut flag_sets: HashMap<(u32, u64), usize> = HashMap::new();
+    let mut flag_waits: HashMap<(u32, u64), usize> = HashMap::new();
+    // Queue pairing and lints: (block, queue) -> per-kind node lists.
+    #[derive(Default)]
+    struct QueueInfo {
+        created: Vec<usize>,
+        destroyed: Vec<usize>,
+        enques: Vec<usize>,
+        deques: Vec<usize>,
+    }
+    let mut queues: HashMap<(u32, u32), QueueInfo> = HashMap::new();
+    // Barrier rounds: round -> participating event nodes (grid-wide).
+    let mut barrier_rounds: HashMap<u32, Vec<usize>> = HashMap::new();
+    // Scratchpad allocations: (block, alloc id) -> (alloc node, freed?).
+    let mut allocs: HashMap<(u32, u64), (usize, bool)> = HashMap::new();
+
+    // Pre-register every set so a wait can match a set recorded later in
+    // the stream (the deadlock shape — the edge then closes an HB cycle).
+    for (i, e) in events.iter().enumerate() {
+        if let HbAction::FlagSet { token, .. } = e.action {
+            flag_sets.insert((e.block, token), i);
+        }
+    }
+    for (i, e) in events.iter().enumerate() {
+        match e.action {
+            HbAction::FlagSet { .. } => {}
+            HbAction::FlagWait { token, .. } => {
+                flag_waits.insert((e.block, token), i);
+                match flag_sets.get(&(e.block, token)) {
+                    Some(&s) => preds[i].push(s),
+                    None => diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        code: "unmatched-wait",
+                        message: format!(
+                            "{} consumed flag token {token} that no CrossCoreSetFlag published",
+                            place(e)
+                        ),
+                    }),
+                }
+            }
+            HbAction::Barrier { round } => {
+                barrier_rounds.entry(round).or_default().push(i);
+            }
+            HbAction::QueueCreate { queue } => {
+                queues.entry((e.block, queue)).or_default().created.push(i);
+            }
+            HbAction::Enque { queue } => {
+                queues.entry((e.block, queue)).or_default().enques.push(i);
+            }
+            HbAction::Deque { queue } => {
+                queues.entry((e.block, queue)).or_default().deques.push(i);
+            }
+            HbAction::QueueDestroy { queue } => {
+                queues
+                    .entry((e.block, queue))
+                    .or_default()
+                    .destroyed
+                    .push(i);
+            }
+            HbAction::Alloc { id, .. } => {
+                allocs.insert((e.block, id), (i, false));
+            }
+            HbAction::Free { id } => {
+                if let Some(slot) = allocs.get_mut(&(e.block, id)) {
+                    slot.1 = true;
+                }
+            }
+            HbAction::GmRead { .. } | HbAction::GmWrite { .. } => {}
+        }
+    }
+    // The i-th enque feeds the i-th deque.
+    for q in queues.values() {
+        for (&enq, &deq) in q.enques.iter().zip(&q.deques) {
+            preds[deq].push(enq);
+        }
+    }
+    // Barrier rounds: a virtual join node per round. Each participant's
+    // program-order predecessor reaches the join; the join reaches every
+    // participant — so pre-barrier work on any thread happens-before
+    // post-barrier work on every thread.
+    let mut rounds: Vec<(&u32, &Vec<usize>)> = barrier_rounds.iter().collect();
+    rounds.sort_by_key(|(r, _)| **r);
+    let mut vpreds: Vec<Vec<usize>> = Vec::with_capacity(rounds.len());
+    for (_, members) in &rounds {
+        let vnode = n + vpreds.len();
+        let mut vp = Vec::with_capacity(members.len());
+        for &m in *members {
+            // The event's in-thread predecessor (first pred, when present).
+            if let Some(&prev) = preds[m].first() {
+                if thread_of[prev] == thread_of[m] {
+                    vp.push(prev);
+                }
+            }
+            preds[m].push(vnode);
+        }
+        vpreds.push(vp);
+    }
+    let total_nodes = n + vpreds.len();
+    let pred_list = |node: usize| -> &[usize] {
+        if node < n {
+            &preds[node]
+        } else {
+            &vpreds[node - n]
+        }
+    };
+
+    // ---- Vector clocks over a topological order --------------------------
+    let mut indegree: Vec<u32> = vec![0; total_nodes];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total_nodes];
+    for (node, deg) in indegree.iter_mut().enumerate() {
+        let node_preds = pred_list(node);
+        *deg = node_preds.len() as u32;
+        for &p in node_preds {
+            succs[p].push(node);
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..total_nodes).filter(|&v| indegree[v] == 0).collect();
+    // clocks[node] = vector clock; clocks[node][t] = number of thread t's
+    // events known to happen-before-or-equal this node.
+    let mut clocks: Vec<Vec<u32>> = vec![Vec::new(); total_nodes];
+    let mut processed = 0usize;
+    while let Some(node) = queue.pop_front() {
+        processed += 1;
+        let mut vc = vec![0u32; nthreads];
+        for &p in pred_list(node) {
+            for (slot, &v) in vc.iter_mut().zip(&clocks[p]) {
+                *slot = (*slot).max(v);
+            }
+        }
+        if node < n {
+            vc[thread_of[node]] = pos_in_thread[node] + 1;
+        }
+        clocks[node] = vc;
+        for &s in &succs[node] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if processed < total_nodes {
+        let stuck = (0..n)
+            .find(|&v| indegree[v] > 0)
+            .map(|v| place(&events[v]))
+            .unwrap_or_else(|| "a barrier round".to_string());
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            code: "hb-cycle",
+            message: format!(
+                "the synchronization edges contradict program order (deadlock shape) — \
+                 cycle through {stuck}"
+            ),
+        });
+        finish(&mut diags);
+        return diags;
+    }
+    // `a happens-before b`: b's clock has seen a's position on a's thread.
+    let hb = |a: usize, b: usize| -> bool { a != b && clocks[b][thread_of[a]] > pos_in_thread[a] };
+
+    // ---- GM data races + transfer liveness -------------------------------
+    let mut accesses: Vec<Access> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.action {
+            HbAction::GmRead { start, end } => accesses.push(Access {
+                start,
+                end,
+                write: false,
+                node: i,
+            }),
+            HbAction::GmWrite { start, end } => accesses.push(Access {
+                start,
+                end,
+                write: true,
+                node: i,
+            }),
+            _ => {}
+        }
+    }
+    accesses.sort_by_key(|a| (a.start, a.end, a.node));
+    // Per write: was it overwritten by an HB-later write, and could any
+    // reader possibly observe it (a read not ordered before it)?
+    let mut overwritten: HashMap<usize, bool> = HashMap::new();
+    let mut observed: HashMap<usize, bool> = HashMap::new();
+    let mut races: Vec<(usize, usize, u64, u64)> = Vec::new();
+    let mut active: Vec<Access> = Vec::new();
+    for &cur in &accesses {
+        active.retain(|a| a.end > cur.start);
+        for a in &active {
+            // `a` starts at or before `cur` and ends after cur.start: the
+            // pair overlaps on [cur.start, min(end)).
+            debug_assert!(a.start <= cur.start && a.end > cur.start);
+            match (a.write, cur.write) {
+                (true, true) => {
+                    if hb(a.node, cur.node) {
+                        overwritten.insert(a.node, true);
+                    } else if hb(cur.node, a.node) {
+                        overwritten.insert(cur.node, true);
+                    }
+                }
+                (true, false) => {
+                    if !hb(cur.node, a.node) {
+                        observed.insert(a.node, true);
+                    }
+                }
+                (false, true) => {
+                    if !hb(a.node, cur.node) {
+                        observed.insert(cur.node, true);
+                    }
+                }
+                (false, false) => {}
+            }
+            let conflicting = a.write || cur.write;
+            if conflicting
+                && thread_of[a.node] != thread_of[cur.node]
+                && !hb(a.node, cur.node)
+                && !hb(cur.node, a.node)
+            {
+                races.push((a.node, cur.node, cur.start, a.end.min(cur.end)));
+            }
+        }
+        active.push(cur);
+    }
+    races.sort();
+    races.dedup();
+    for (i, &(a, b, lo, hi)) in races.iter().enumerate() {
+        if i == RACE_REPORT_CAP {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                code: "gm-race",
+                // "GM bytes ..." < "GM race ..." lexicographically, so the
+                // capped-report summary sorts after every concrete race.
+                message: format!(
+                    "GM race report capped: {} more racy access pair(s) suppressed",
+                    races.len() - i
+                ),
+            });
+            break;
+        }
+        let (ea, eb) = (&events[a], &events[b]);
+        let kind = |e: &HbEvent| {
+            if matches!(e.action, HbAction::GmWrite { .. }) {
+                "write"
+            } else {
+                "read"
+            }
+        };
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            code: "gm-race",
+            message: format!(
+                "GM bytes [{lo}, {hi}): {} by {} races with {} by {} — \
+                 no happens-before path orders them",
+                kind(ea),
+                place(ea),
+                kind(eb),
+                place(eb),
+            ),
+        });
+    }
+    // Dead transfer: a write that some later write (HB-ordered) buries,
+    // while no read anywhere could have observed it. Final outputs are
+    // read by the host after the launch and are never overwritten, so
+    // they are exempt by construction.
+    for &a in &accesses {
+        if a.write
+            && overwritten.get(&a.node).copied().unwrap_or(false)
+            && !observed.get(&a.node).copied().unwrap_or(false)
+        {
+            let e = &events[a.node];
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "dead-transfer",
+                message: format!(
+                    "{} wrote GM bytes [{}, {}) that are overwritten before any \
+                     engine could read them",
+                    place(e),
+                    a.start,
+                    a.end
+                ),
+            });
+        }
+    }
+
+    // ---- Flag coverage ---------------------------------------------------
+    // Group sets per (block, flag id) in token order.
+    let mut by_flag: HashMap<(u32, u32), Vec<(u64, usize)>> = HashMap::new();
+    for (&(block, token), &node) in &flag_sets {
+        if let HbAction::FlagSet { id, .. } = events[node].action {
+            by_flag.entry((block, id)).or_default().push((token, node));
+        }
+    }
+    let mut flag_keys: Vec<(u32, u32)> = by_flag.keys().copied().collect();
+    flag_keys.sort_unstable();
+    for key in flag_keys {
+        let sets = by_flag.get_mut(&key).expect("key from map");
+        sets.sort_unstable();
+        for (si, &(token, node)) in sets.iter().enumerate() {
+            let wait = flag_waits.get(&(key.0, token)).copied();
+            if wait.is_none() {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "flag-leak",
+                    message: format!(
+                        "{} set flag id {} (token {token}) but no CrossCoreWaitFlag \
+                         ever consumed it",
+                        place(&events[node]),
+                        key.1
+                    ),
+                });
+            }
+            // Reuse across barrier rounds: an earlier-epoch set still
+            // pending when this one is published aliases two rounds'
+            // hand-offs on one physical flag register.
+            let reused = sets[..si].iter().find(|&&(t0, n0)| {
+                epoch[n0] < epoch[node]
+                    && !flag_waits.get(&(key.0, t0)).is_some_and(|&w| hb(w, node))
+            });
+            if let Some(&(t0, n0)) = reused {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: "flag-reuse",
+                    message: format!(
+                        "{} reuses flag id {} across barrier rounds: the round-{} set \
+                         (token {t0}) by {} is still pending",
+                        place(&events[node]),
+                        key.1,
+                        epoch[n0],
+                        place(&events[n0]),
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- Queue and allocation lints --------------------------------------
+    let mut queue_keys: Vec<(u32, u32)> = queues.keys().copied().collect();
+    queue_keys.sort_unstable();
+    for key in queue_keys {
+        let q = &queues[&key];
+        let who = q
+            .created
+            .first()
+            .or_else(|| q.enques.first())
+            .or_else(|| q.deques.first())
+            .map(|&i| place(&events[i]))
+            .unwrap_or_else(|| format!("block {} queue {}", key.0, key.1));
+        if q.enques.len() != q.deques.len() {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "queue-unbalanced",
+                message: format!(
+                    "{who}: {} enque(s) vs {} deque(s)",
+                    q.enques.len(),
+                    q.deques.len()
+                ),
+            });
+        }
+        if q.destroyed.len() < q.created.len() {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "queue-leak",
+                message: format!("{who}: queue created but never destroyed"),
+            });
+        }
+    }
+    let mut leaked: Vec<(usize, u64)> = allocs
+        .iter()
+        .filter(|&(_, &(_, freed))| !freed)
+        .map(|(&(_, id), &(node, _))| (node, id))
+        .collect();
+    leaked.sort_unstable();
+    for (node, id) in leaked {
+        let bytes = match events[node].action {
+            HbAction::Alloc { bytes, .. } => bytes,
+            _ => 0,
+        };
+        diags.push(Diagnostic {
+            severity: Severity::Warning,
+            code: "alloc-leak",
+            message: format!(
+                "{} allocated {bytes} B (alloc id {id}) that are never freed",
+                place(&events[node])
+            ),
+        });
+    }
+
+    finish(&mut diags);
+    diags
+}
+
+/// Deterministic final order: errors first, then by code and message.
+fn finish(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.severity, a.code, &a.message).cmp(&(b.severity, b.code, &b.message)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(block: u32, core: u32, time: u64, what: &'static str, action: HbAction) -> HbEvent {
+        HbEvent {
+            block,
+            core,
+            time,
+            what,
+            action,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn empty_schedule_is_clean() {
+        assert!(analyze(&[]).is_empty());
+    }
+
+    #[test]
+    fn unordered_conflicting_accesses_race() {
+        // Two blocks write the same GM range with no sync edge at all.
+        let events = [
+            ev(
+                0,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(
+                1,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 32, end: 96 },
+            ),
+        ];
+        let diags = analyze(&events);
+        assert_eq!(codes(&diags), ["gm-race"]);
+        assert!(diags[0].message.contains("[32, 64)"));
+        assert_eq!(diags[0].severity, Severity::Error);
+        // Read vs read never conflicts.
+        let reads = [
+            ev(0, 1, 10, "DataCopy", HbAction::GmRead { start: 0, end: 64 }),
+            ev(1, 1, 10, "DataCopy", HbAction::GmRead { start: 0, end: 64 }),
+        ];
+        assert!(analyze(&reads).is_empty());
+        // Disjoint ranges never conflict.
+        let disjoint = [
+            ev(
+                0,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(
+                1,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite {
+                    start: 64,
+                    end: 128,
+                },
+            ),
+        ];
+        assert!(analyze(&disjoint).is_empty());
+    }
+
+    #[test]
+    fn same_thread_program_order_is_not_a_race() {
+        let events = [
+            ev(
+                0,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(0, 1, 20, "DataCopy", HbAction::GmRead { start: 0, end: 64 }),
+        ];
+        assert!(analyze(&events).is_empty());
+    }
+
+    #[test]
+    fn flag_edge_orders_cross_core_handoff() {
+        // Producer writes, sets a flag; consumer waits then reads: clean.
+        let events = [
+            ev(
+                0,
+                0,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(
+                0,
+                0,
+                16,
+                "CrossCoreSetFlag",
+                HbAction::FlagSet { id: 0, token: 0 },
+            ),
+            ev(
+                0,
+                1,
+                40,
+                "CrossCoreWaitFlag",
+                HbAction::FlagWait { id: 0, token: 0 },
+            ),
+            ev(0, 1, 50, "DataCopy", HbAction::GmRead { start: 0, end: 64 }),
+        ];
+        assert!(analyze(&events).is_empty());
+        // Without the flag pair, the same accesses race.
+        let racy = [events[0], events[3]];
+        assert_eq!(codes(&analyze(&racy)), ["gm-race"]);
+    }
+
+    #[test]
+    fn barrier_round_orders_all_threads() {
+        // Block 0 writes before the barrier; block 1 reads after: clean.
+        let events = [
+            ev(
+                0,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(0, 1, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+            ev(1, 1, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+            ev(1, 1, 40, "DataCopy", HbAction::GmRead { start: 0, end: 64 }),
+        ];
+        assert!(analyze(&events).is_empty());
+        // Reading on the *pre*-barrier side of another thread races.
+        let racy = [
+            ev(
+                0,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(0, 1, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+            ev(1, 1, 5, "DataCopy", HbAction::GmRead { start: 0, end: 64 }),
+            ev(1, 1, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+        ];
+        assert_eq!(codes(&analyze(&racy)), ["gm-race"]);
+    }
+
+    #[test]
+    fn queue_edges_pair_fifo() {
+        let events = [
+            ev(0, 1, 5, "q", HbAction::QueueCreate { queue: 0 }),
+            ev(0, 1, 10, "q", HbAction::Enque { queue: 0 }),
+            ev(0, 1, 20, "q", HbAction::Deque { queue: 0 }),
+            ev(0, 1, 30, "q", HbAction::QueueDestroy { queue: 0 }),
+        ];
+        assert!(analyze(&events).is_empty());
+    }
+
+    #[test]
+    fn queue_lints_fire() {
+        let unbalanced = [
+            ev(0, 1, 5, "q", HbAction::QueueCreate { queue: 0 }),
+            ev(0, 1, 10, "q", HbAction::Enque { queue: 0 }),
+            ev(0, 1, 30, "q", HbAction::QueueDestroy { queue: 0 }),
+        ];
+        assert_eq!(codes(&analyze(&unbalanced)), ["queue-unbalanced"]);
+        let leaked = [ev(0, 1, 5, "q", HbAction::QueueCreate { queue: 0 })];
+        assert_eq!(codes(&analyze(&leaked)), ["queue-leak"]);
+    }
+
+    #[test]
+    fn flag_coverage_diagnostics() {
+        // A set nobody consumes leaks.
+        let leak = [ev(
+            0,
+            0,
+            10,
+            "CrossCoreSetFlag",
+            HbAction::FlagSet { id: 2, token: 0 },
+        )];
+        let diags = analyze(&leak);
+        assert_eq!(codes(&diags), ["flag-leak"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        // A wait consuming an unpublished token is an error.
+        let orphan = [ev(
+            0,
+            1,
+            10,
+            "CrossCoreWaitFlag",
+            HbAction::FlagWait { id: 2, token: 9 },
+        )];
+        let diags = analyze(&orphan);
+        assert_eq!(codes(&diags), ["unmatched-wait"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn flag_reuse_across_rounds_is_flagged() {
+        // Round 0 publishes id 4; nobody consumes it before round 1
+        // publishes id 4 again — two rounds alias one register.
+        let events = [
+            ev(
+                0,
+                0,
+                10,
+                "CrossCoreSetFlag",
+                HbAction::FlagSet { id: 4, token: 0 },
+            ),
+            ev(0, 0, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+            ev(0, 1, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+            ev(
+                0,
+                0,
+                40,
+                "CrossCoreSetFlag",
+                HbAction::FlagSet { id: 4, token: 1 },
+            ),
+            ev(
+                0,
+                1,
+                60,
+                "CrossCoreWaitFlag",
+                HbAction::FlagWait { id: 4, token: 0 },
+            ),
+            ev(
+                0,
+                1,
+                70,
+                "CrossCoreWaitFlag",
+                HbAction::FlagWait { id: 4, token: 1 },
+            ),
+        ];
+        let diags = analyze(&events);
+        assert_eq!(codes(&diags), ["flag-reuse"]);
+        assert!(diags[0].message.contains("flag id 4"));
+        // Same shape but the old set is consumed before the new round's
+        // set: clean (pipelined same-epoch reuse stays legal too).
+        let clean = [
+            ev(
+                0,
+                0,
+                10,
+                "CrossCoreSetFlag",
+                HbAction::FlagSet { id: 4, token: 0 },
+            ),
+            ev(
+                0,
+                1,
+                20,
+                "CrossCoreWaitFlag",
+                HbAction::FlagWait { id: 4, token: 0 },
+            ),
+            ev(0, 0, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+            ev(0, 1, 30, "SyncAll", HbAction::Barrier { round: 0 }),
+            ev(
+                0,
+                0,
+                40,
+                "CrossCoreSetFlag",
+                HbAction::FlagSet { id: 4, token: 1 },
+            ),
+            ev(
+                0,
+                1,
+                60,
+                "CrossCoreWaitFlag",
+                HbAction::FlagWait { id: 4, token: 1 },
+            ),
+        ];
+        assert!(analyze(&clean).is_empty());
+    }
+
+    #[test]
+    fn pipelined_same_epoch_flag_cycling_is_legal() {
+        // The producer runs several sets ahead on one id (counting
+        // semaphore); the consumer drains in FIFO order. No barrier in
+        // between — no reuse error, no leak.
+        let mut events = Vec::new();
+        for t in 0..6u64 {
+            events.push(ev(
+                0,
+                0,
+                10 + t,
+                "CrossCoreSetFlag",
+                HbAction::FlagSet {
+                    id: (t % 2) as u32,
+                    token: t,
+                },
+            ));
+        }
+        for t in 0..6u64 {
+            events.push(ev(
+                0,
+                1,
+                100 + t,
+                "CrossCoreWaitFlag",
+                HbAction::FlagWait {
+                    id: (t % 2) as u32,
+                    token: t,
+                },
+            ));
+        }
+        assert!(analyze(&events).is_empty());
+    }
+
+    #[test]
+    fn hb_cycle_is_detected() {
+        // One thread waits on a token whose set comes later in its own
+        // program order — the canonical self-deadlock shape.
+        let events = [
+            ev(
+                0,
+                0,
+                10,
+                "CrossCoreWaitFlag",
+                HbAction::FlagWait { id: 0, token: 0 },
+            ),
+            ev(
+                0,
+                0,
+                20,
+                "CrossCoreSetFlag",
+                HbAction::FlagSet { id: 0, token: 0 },
+            ),
+        ];
+        let diags = analyze(&events);
+        assert_eq!(codes(&diags), ["hb-cycle"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn alloc_leak_is_flagged() {
+        let leak = [ev(
+            0,
+            1,
+            10,
+            "AllocLocal",
+            HbAction::Alloc { id: 7, bytes: 256 },
+        )];
+        let diags = analyze(&leak);
+        assert_eq!(codes(&diags), ["alloc-leak"]);
+        assert!(diags[0].message.contains("256 B"));
+        let paired = [
+            ev(
+                0,
+                1,
+                10,
+                "AllocLocal",
+                HbAction::Alloc { id: 7, bytes: 256 },
+            ),
+            ev(0, 1, 20, "FreeLocal", HbAction::Free { id: 7 }),
+        ];
+        assert!(analyze(&paired).is_empty());
+    }
+
+    #[test]
+    fn dead_transfer_requires_no_possible_reader() {
+        // Write buried by an ordered overwrite with no read: dead.
+        let dead = [
+            ev(
+                0,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(
+                0,
+                1,
+                20,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+        ];
+        let diags = analyze(&dead);
+        assert_eq!(codes(&diags), ["dead-transfer"]);
+        assert!(diags[0].message.contains("@10"));
+        // An intervening read keeps the first write live.
+        let live = [
+            ev(
+                0,
+                1,
+                10,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+            ev(0, 1, 15, "DataCopy", HbAction::GmRead { start: 0, end: 64 }),
+            ev(
+                0,
+                1,
+                20,
+                "DataCopy",
+                HbAction::GmWrite { start: 0, end: 64 },
+            ),
+        ];
+        assert!(analyze(&live).is_empty());
+        // A final (never overwritten) output is not dead even unread.
+        let final_out = [ev(
+            0,
+            1,
+            10,
+            "DataCopy",
+            HbAction::GmWrite { start: 0, end: 64 },
+        )];
+        assert!(analyze(&final_out).is_empty());
+    }
+
+    #[test]
+    fn race_report_is_capped_and_deterministic() {
+        // 30 blocks all write the same range: many pairwise races.
+        let events: Vec<HbEvent> = (0..30)
+            .map(|b| ev(b, 1, 10, "DataCopy", HbAction::GmWrite { start: 0, end: 8 }))
+            .collect();
+        let d1 = analyze(&events);
+        let d2 = analyze(&events);
+        assert_eq!(d1, d2, "diagnostics replay identically");
+        assert_eq!(d1.len(), RACE_REPORT_CAP + 1);
+        assert!(d1.iter().any(|d| d.message.contains("more racy")));
+    }
+
+    #[test]
+    fn diagnostics_order_errors_first() {
+        let events = [
+            // A leaked alloc (warning)...
+            ev(0, 1, 5, "AllocLocal", HbAction::Alloc { id: 1, bytes: 64 }),
+            // ...and a race (error).
+            ev(0, 1, 10, "DataCopy", HbAction::GmWrite { start: 0, end: 8 }),
+            ev(1, 1, 10, "DataCopy", HbAction::GmWrite { start: 0, end: 8 }),
+        ];
+        let diags = analyze(&events);
+        assert_eq!(codes(&diags), ["gm-race", "alloc-leak"]);
+        assert!(diags[0].to_string().starts_with("error[gm-race]"));
+        assert!(diags[1].to_string().starts_with("warning[alloc-leak]"));
+    }
+}

@@ -46,9 +46,12 @@
 //! The model aims for faithful *relative* performance (who wins, where
 //! crossovers fall), not cycle-exact absolute numbers.
 
+#![forbid(unsafe_code)]
+
 pub mod chip;
 pub mod engine;
 pub mod error;
+pub mod hb;
 pub mod mem;
 pub mod prof;
 pub mod report;
@@ -60,6 +63,7 @@ pub mod trace;
 pub use chip::ChipSpec;
 pub use engine::EngineKind;
 pub use error::{SimError, SimResult};
+pub use hb::{Diagnostic, Severity};
 pub use mem::{GlobalMemory, Region};
 pub use prof::{
     CounterEvent, KernelProfile, Profile, SpanArgs, SpanId, SpanRecorder, StallCause, StallEvent,
@@ -69,4 +73,4 @@ pub use report::KernelReport;
 pub use simcheck::{ScratchTracker, ValidationMode};
 pub use sync::{FlagFile, Scheduler};
 pub use timeline::{CoreKind, CoreTimeline, EventTime};
-pub use trace::TraceEvent;
+pub use trace::{HbAction, HbEvent, HbRecorder, TraceEvent};

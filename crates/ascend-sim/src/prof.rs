@@ -45,7 +45,7 @@
 
 use crate::engine::EngineKind;
 use crate::timeline::EventTime;
-use crate::trace::{json_escape, TraceEvent};
+use crate::trace::{hb_events_json, json_escape, HbEvent, TraceEvent};
 use std::cell::RefCell;
 
 /// Core index used in [`TraceSpan::core`] for block-scoped (phase) spans
@@ -307,6 +307,9 @@ pub struct KernelProfile {
     pub counters: Vec<CounterEvent>,
     /// Aggregated stall cycles per engine.
     pub stalls: StallTally,
+    /// Happens-before events (GM access ranges, flag/queue edges, barrier
+    /// rounds) consumed by the schedule analyzer ([`crate::hb`]).
+    pub hb_events: Vec<HbEvent>,
 }
 
 /// Profiles collected from one or more kernel launches (see
@@ -333,6 +336,13 @@ impl Profile {
     /// and `<core>.spans` threads carry the named spans; queue occupancy
     /// is exported as counter tracks. Successive kernels are laid out
     /// sequentially on the time axis.
+    ///
+    /// The document is additionally stamped `"schema":"ascend-trace/v1"`
+    /// and carries the launches' happens-before events under a top-level
+    /// `"hbEvents"` key (concatenated across kernels, in launch order),
+    /// so the `simlint` CLI can analyze a trace file offline via
+    /// [`crate::trace::parse_hb_json`]. Chrome/Perfetto ignore the extra
+    /// keys.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"traceEvents\":[");
@@ -441,7 +451,14 @@ impl Profile {
             // Lay the next kernel out after this one with a small gap.
             base_us += k.cycles as f64 / (ghz * 1e3) * 1.05 + 1.0;
         }
-        out.push_str("]}");
+        out.push_str("],\"schema\":\"ascend-trace/v1\",\"hbEvents\":");
+        let all_hb: Vec<HbEvent> = self
+            .kernels
+            .iter()
+            .flat_map(|k| k.hb_events.iter().copied())
+            .collect();
+        out.push_str(&hb_events_json(&all_hb));
+        out.push('}');
         out
     }
 }
@@ -622,6 +639,37 @@ mod tests {
         // No raw quote-in-name survives: the document still parses by
         // eye — balanced braces and brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_export_embeds_hb_events_for_offline_lint() {
+        use crate::trace::{parse_hb_json, HbAction};
+        let mk = |name: &str, block| KernelProfile {
+            name: name.into(),
+            clock_ghz: 1.0,
+            blocks: 1,
+            cycles: 100,
+            hb_events: vec![HbEvent {
+                block,
+                core: 0,
+                time: 10,
+                what: "DataCopy",
+                action: HbAction::GmWrite { start: 0, end: 64 },
+            }],
+            ..Default::default()
+        };
+        let p = Profile {
+            kernels: vec![mk("k1", 0), mk("k2", 1)],
+        };
+        let json = p.to_chrome_json();
+        assert!(json.contains("\"schema\":\"ascend-trace/v1\""));
+        let parsed = parse_hb_json(&json).unwrap();
+        assert_eq!(parsed.len(), 2, "kernels concatenate in launch order");
+        assert_eq!(parsed[0].block, 0);
+        assert_eq!(parsed[1].block, 1);
+        // Chrome-trace shape is preserved for Perfetto.
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
     }

@@ -16,6 +16,11 @@
 //! * **Accounting audits** ([`audit_report`]): per-engine busy cycles
 //!   are bounded by `cores-with-engine x cycles`, and the report's
 //!   traffic must reconcile with the [`GlobalMemory`] transfer counters.
+//! * **Schedule audits** ([`audit_schedule`]): the happens-before
+//!   analyzer ([`crate::hb`], a.k.a. `simlint`) replays the launch's
+//!   synchronization structure; error-severity findings (GM data races,
+//!   unmatched flag waits, flag reuse across barrier rounds, deadlock
+//!   shapes) abort the launch.
 //!
 //! All checks are *observational*: they never issue instructions or
 //! advance any timeline, so enabling them cannot change a kernel's
@@ -27,8 +32,9 @@
 use crate::chip::ChipSpec;
 use crate::engine::EngineKind;
 use crate::error::{SimError, SimResult};
+use crate::hb::{self, Severity};
 use crate::report::KernelReport;
-use crate::trace::TraceEvent;
+use crate::trace::{HbEvent, TraceEvent};
 use std::collections::HashMap;
 
 /// How much runtime validation the simulator performs.
@@ -266,6 +272,26 @@ pub fn audit_trace_events(events: &[TraceEvent]) -> SimResult<()> {
     Ok(())
 }
 
+/// Runs the happens-before schedule analyzer ([`crate::hb`], the engine
+/// behind `simlint`) over a launch's recorded event stream and converts
+/// the first error-severity finding into a launch failure.
+///
+/// Warning-severity findings (flag/alloc/queue leaks, dead transfers)
+/// are tolerated in-process — hygiene is enforced offline by the
+/// `simlint` CLI, which fails on any finding — so unit-test kernels
+/// that deliberately leak a buffer still run.
+pub fn audit_schedule(events: &[HbEvent]) -> SimResult<()> {
+    for d in hb::analyze(events) {
+        if d.severity == Severity::Error {
+            return Err(SimError::ScheduleHazard {
+                what: d.code,
+                detail: d.message,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Audits a finished [`KernelReport`] against the chip spec and the
 /// observed global-memory counter deltas:
 ///
@@ -472,6 +498,34 @@ mod tests {
         assert!(matches!(err, SimError::AccountingViolation { .. }));
         let err = audit_trace_events(&[ev(10, 5)]).unwrap_err();
         assert!(matches!(err, SimError::AccountingViolation { .. }));
+    }
+
+    #[test]
+    fn schedule_audit_fails_on_errors_tolerates_warnings() {
+        use crate::trace::{HbAction, HbEvent};
+        assert!(audit_schedule(&[]).is_ok());
+        // A leaked allocation is warning-severity: launch still passes.
+        let leak = [HbEvent {
+            block: 0,
+            core: 1,
+            time: 10,
+            what: "AllocLocal",
+            action: HbAction::Alloc { id: 1, bytes: 64 },
+        }];
+        assert!(audit_schedule(&leak).is_ok());
+        // A cross-block GM race is error-severity: launch fails.
+        let mk_write = |block| HbEvent {
+            block,
+            core: 1,
+            time: 10,
+            what: "DataCopy",
+            action: HbAction::GmWrite { start: 0, end: 64 },
+        };
+        let err = audit_schedule(&[mk_write(0), mk_write(1)]).unwrap_err();
+        match err {
+            SimError::ScheduleHazard { what, .. } => assert_eq!(what, "gm-race"),
+            other => panic!("expected ScheduleHazard, got {other:?}"),
+        }
     }
 
     #[test]

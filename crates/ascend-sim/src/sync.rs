@@ -33,39 +33,86 @@
 //! is what makes memory-bound kernels saturate at the modelled roofline.
 
 use crate::chip::ChipSpec;
+use crate::error::{SimError, SimResult};
 use crate::mem::GlobalMemory;
 use crate::timeline::EventTime;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
-/// Per-block registry of cross-core flag completion times.
+/// Per-block registry of cross-core flag events.
 ///
-/// `CrossCoreSetFlag` publishes the set instruction's completion time
-/// under a flag id; `CrossCoreWaitFlag` on another core of the same block
-/// reads it back and stalls until it. Ids are kernel-chosen; the
-/// simulator does not enforce the small physical flag-id space, it only
-/// requires that a flag is set before it is waited on (a wait on an unset
-/// flag would deadlock real silicon).
-#[derive(Debug, Default)]
+/// Flags are modelled as *counting semaphores*, matching the FFTS-style
+/// hardware counters behind `CrossCoreSetFlag`/`CrossCoreWaitFlag`: each
+/// set on an id enqueues one pending event (FIFO per id) and each wait
+/// consumes the earliest pending event. A producer may therefore run
+/// several sets ahead of its consumer on the same id without losing
+/// hand-offs. The flag-id space is the chip's small physical register
+/// file: ids `>= limit` are rejected with [`SimError::FlagIdOutOfRange`].
+///
+/// Every set is stamped with a file-wide monotonic *token* so that the
+/// schedule analyzer (`hb` module) can pair each wait with the exact set
+/// it consumed.
+#[derive(Debug)]
 pub struct FlagFile {
-    slots: RefCell<HashMap<u32, EventTime>>,
+    slots: RefCell<HashMap<u32, VecDeque<(EventTime, u64)>>>,
+    next_token: RefCell<u64>,
+    limit: u32,
 }
 
 impl FlagFile {
-    /// An empty flag file (all flags unset).
-    pub fn new() -> Self {
-        Self::default()
+    /// An empty flag file with `limit` usable ids (all flags unset).
+    pub fn new(limit: u32) -> Self {
+        FlagFile {
+            slots: RefCell::new(HashMap::new()),
+            next_token: RefCell::new(0),
+            limit,
+        }
     }
 
-    /// Publishes flag `id` as set at cycle `at` (a later set overwrites).
-    pub fn set(&self, id: u32, at: EventTime) {
-        self.slots.borrow_mut().insert(id, at);
+    /// The number of usable flag ids (`0..limit`).
+    pub fn limit(&self) -> u32 {
+        self.limit
     }
 
-    /// The completion time of the most recent set of flag `id`, if any.
-    pub fn get(&self, id: u32) -> Option<EventTime> {
-        self.slots.borrow().get(&id).copied()
+    fn check_id(&self, id: u32) -> SimResult<()> {
+        if id >= self.limit {
+            return Err(SimError::FlagIdOutOfRange {
+                id,
+                limit: self.limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Publishes one set event on flag `id` completing at cycle `at`;
+    /// returns the set's unique token.
+    pub fn set(&self, id: u32, at: EventTime) -> SimResult<u64> {
+        self.check_id(id)?;
+        let token = {
+            let mut t = self.next_token.borrow_mut();
+            let token = *t;
+            *t += 1;
+            token
+        };
+        self.slots
+            .borrow_mut()
+            .entry(id)
+            .or_default()
+            .push_back((at, token));
+        Ok(token)
+    }
+
+    /// Consumes the earliest pending set on flag `id`, returning its
+    /// completion time and token — `None` when no set is pending (a wait
+    /// now would deadlock real silicon).
+    pub fn consume(&self, id: u32) -> SimResult<Option<(EventTime, u64)>> {
+        self.check_id(id)?;
+        Ok(self
+            .slots
+            .borrow_mut()
+            .get_mut(&id)
+            .and_then(VecDeque::pop_front))
     }
 }
 
@@ -566,12 +613,39 @@ mod tests {
     }
 
     #[test]
-    fn flag_file_set_then_get() {
-        let flags = FlagFile::new();
-        assert_eq!(flags.get(3), None);
-        flags.set(3, 100);
-        assert_eq!(flags.get(3), Some(100));
-        flags.set(3, 40); // later set in program order overwrites
-        assert_eq!(flags.get(3), Some(40));
+    fn flag_file_is_a_counting_semaphore() {
+        let flags = FlagFile::new(8);
+        assert_eq!(flags.consume(3).unwrap(), None);
+        let t0 = flags.set(3, 100).unwrap();
+        let t1 = flags.set(3, 140).unwrap();
+        assert_ne!(t0, t1, "every set gets a unique token");
+        // A producer running ahead queues events; waits drain in FIFO
+        // order, pairing each wait with the earliest pending set.
+        assert_eq!(flags.consume(3).unwrap(), Some((100, t0)));
+        assert_eq!(flags.consume(3).unwrap(), Some((140, t1)));
+        assert_eq!(flags.consume(3).unwrap(), None);
+        // Independent ids do not interfere.
+        let ta = flags.set(0, 7).unwrap();
+        flags.set(1, 9).unwrap();
+        assert_eq!(flags.consume(0).unwrap(), Some((7, ta)));
+    }
+
+    #[test]
+    fn flag_file_enforces_the_id_space() {
+        let flags = FlagFile::new(8);
+        assert_eq!(flags.limit(), 8);
+        let err = flags.set(8, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FlagIdOutOfRange { id: 8, limit: 8 }
+        ));
+        let err = flags.consume(200).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FlagIdOutOfRange { id: 200, limit: 8 }
+        ));
+        // In-range ids still work.
+        flags.set(7, 1).unwrap();
+        assert!(flags.consume(7).unwrap().is_some());
     }
 }

@@ -44,8 +44,9 @@ use ascend_sim::mem::GlobalMemory;
 use ascend_sim::prof::{self, KernelProfile, SpanRecorder};
 use ascend_sim::sync::{FlagFile, Scheduler};
 use ascend_sim::{
-    simcheck, ChipSpec, CoreKind, CounterEvent, EngineKind, EventTime, KernelReport, SimError,
-    SimResult, SpanArgs, SpanId, StallCause, StallEvent, StallTally, TraceEvent, TraceSpan,
+    simcheck, ChipSpec, CoreKind, CounterEvent, EngineKind, EventTime, HbAction, HbEvent,
+    KernelReport, SimError, SimResult, SpanArgs, SpanId, StallCause, StallEvent, StallTally,
+    TraceEvent, TraceSpan,
 };
 use std::sync::Arc;
 
@@ -70,6 +71,11 @@ pub struct BlockCtx<'a> {
     sync: Option<&'a Scheduler>,
     /// Block-level phase spans (depth 1; kernel root is depth 0).
     spans: SpanRecorder,
+    /// Number of completed [`BlockCtx::sync_all`] rounds; stamps each
+    /// core's `Barrier` happens-before event. All blocks execute the
+    /// same barrier sequence, so equal round numbers identify one
+    /// grid-wide rendezvous.
+    sync_round: u32,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -137,11 +143,15 @@ impl<'a> BlockCtx<'a> {
         // are flag-blocked; from there to the release they are
         // barrier-blocked.
         let flag_edge = (all_set + w).min(resolved);
+        let round = self.sync_round;
         for core in std::iter::once(&mut self.cube).chain(self.vecs.iter_mut()) {
             core.timeline_mut()
                 .align_to_cause(flag_edge, StallCause::Flag);
             core.timeline_mut().align_to(resolved);
+            core.hb_recorder()
+                .record(resolved, "SyncAll", HbAction::Barrier { round });
         }
+        self.sync_round += 1;
         self.spans.end(span, resolved);
         Ok(resolved)
     }
@@ -186,6 +196,7 @@ struct BlockOutcome {
     spans: Vec<TraceSpan>,
     stall_events: Vec<StallEvent>,
     counters: Vec<CounterEvent>,
+    hb_events: Vec<HbEvent>,
 }
 
 /// Launches `block_dim` blocks of `kernel` on the chip and returns the
@@ -270,16 +281,19 @@ where
                 vecs: (0..spec.vec_per_core)
                     .map(|_| Core::new(CoreKind::Vector, spec, origin))
                     .collect(),
-                flags: FlagFile::new(),
+                flags: FlagFile::new(spec.flag_id_limit),
                 spec,
                 gm,
                 sync: sched,
                 spans: SpanRecorder::new(1),
+                sync_round: 0,
             };
             if recording {
                 ctx.cube.timeline_mut().enable_recording();
+                ctx.cube.enable_hb();
                 for v in &mut ctx.vecs {
                     v.timeline_mut().enable_recording();
+                    v.enable_hb();
                 }
             }
             if profiled {
@@ -315,6 +329,7 @@ where
             let mut spans = ctx.spans.take(block_idx, prof::BLOCK_SCOPE, end);
             let mut stall_events = Vec::new();
             let mut counters = Vec::new();
+            let mut hb_events = Vec::new();
             for (ci, core) in std::iter::once(&mut ctx.cube)
                 .chain(ctx.vecs.iter_mut())
                 .enumerate()
@@ -334,6 +349,7 @@ where
                             end,
                         },
                     ));
+                    hb_events.extend(core.take_hb(block_idx, ci as u32));
                 }
                 if profiled {
                     stall_events.extend(core.timeline().recorded_stalls().iter().map(
@@ -360,6 +376,7 @@ where
                 spans,
                 stall_events,
                 counters,
+                hb_events,
             }
         };
 
@@ -435,11 +452,13 @@ where
     let mut spans: Vec<TraceSpan> = Vec::new();
     let mut stall_events: Vec<StallEvent> = Vec::new();
     let mut counters: Vec<CounterEvent> = Vec::new();
+    let mut hb_events: Vec<HbEvent> = Vec::new();
     for o in outcomes {
         events.extend(o.events);
         spans.extend(o.spans);
         stall_events.extend(o.stall_events);
         counters.extend(o.counters);
+        hb_events.extend(o.hb_events);
     }
     let report = KernelReport {
         name: name.to_string(),
@@ -471,6 +490,11 @@ where
             // end, so their idle time is not fully attributed.
             simcheck::audit_stall_accounting(&report, spec)?;
         }
+        // Happens-before schedule analysis: error-severity findings
+        // (GM races, unmatched waits, flag reuse across rounds,
+        // deadlock shapes) fail the launch; warnings are left to the
+        // offline `simlint` CLI.
+        simcheck::audit_schedule(&hb_events)?;
     }
     if collector {
         let profile_events = if trace {
@@ -488,6 +512,7 @@ where
             stall_events,
             counters,
             stalls: report.stalls.clone(),
+            hb_events,
         });
     }
     if !trace {
@@ -627,11 +652,67 @@ mod tests {
         let (spec, gm) = setup();
         let err = launch(&spec, &gm, 1, "deadlock", |ctx| {
             let BlockCtx { vecs, flags, .. } = ctx;
-            vecs[0].wait_flag(flags, 9).map(|_| ())
+            vecs[0].wait_flag(flags, 5).map(|_| ())
         })
         .unwrap_err();
         assert!(matches!(err, SimError::InvalidArgument(_)));
         assert!(err.to_string().contains("unset flag"));
+    }
+
+    #[test]
+    fn flag_id_beyond_register_file_is_rejected() {
+        // Failure injection: the tiny chip exposes 8 cross-core flag
+        // registers; publishing on id 8 must fail the launch.
+        let (spec, gm) = setup();
+        let limit = spec.flag_id_limit;
+        let err = launch(&spec, &gm, 1, "flag-overflow", |ctx| {
+            let BlockCtx { cube, flags, .. } = ctx;
+            cube.set_flag(flags, limit, &[]).map(|_| ())
+        })
+        .unwrap_err();
+        assert_eq!(err, SimError::FlagIdOutOfRange { id: limit, limit });
+        // The last in-range id works.
+        let (spec, gm) = setup();
+        launch(&spec, &gm, 1, "flag-last", |ctx| {
+            let BlockCtx {
+                cube, vecs, flags, ..
+            } = ctx;
+            cube.set_flag(flags, limit - 1, &[])?;
+            vecs[0].wait_flag(flags, limit - 1)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unsynchronized_cross_core_handoff_fails_the_audit() {
+        // Failure injection: cube writes GM and the vector core reads
+        // the same range with only a raw timing dependency — no flag, no
+        // barrier. The replayed interleaving is timing-safe, but the
+        // schedule guarantees nothing, and the happens-before audit
+        // must reject it.
+        let (spec, gm) = setup();
+        let shared = GlobalTensor::<i32>::new(&gm, 64).unwrap();
+        let err = launch(&spec, &gm, 1, "racy", |ctx| {
+            let cube = &mut ctx.cube;
+            let mut l1 = cube.alloc_local::<i32>(ScratchpadKind::L1, 64)?;
+            let produced = cube.fill_local(&mut l1, 0, 64, 7)?;
+            let stored = cube.copy_out(&shared, 0, &l1, 0, 64, &[produced])?;
+            let v = &mut ctx.vecs[0];
+            let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, 64)?;
+            v.copy_in(&mut buf, 0, &shared, 0, 64, &[stored])?;
+            cube.free_local(l1)?;
+            v.free_local(buf)?;
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            SimError::ScheduleHazard { what, detail } => {
+                assert_eq!(what, "gm-race");
+                assert!(detail.contains("copy_out"), "names the write: {detail}");
+            }
+            other => panic!("expected a gm-race ScheduleHazard, got {other:?}"),
+        }
     }
 
     #[test]
@@ -811,7 +892,8 @@ mod tests {
         let out = GlobalTensor::<i32>::new(&gm, s * s).unwrap();
 
         launch(&spec, &gm, 1, "mix", |ctx| {
-            // Cube: C = A @ B, write to GM.
+            // Cube: C = A @ B, write to GM, publish the hand-off flag.
+            let flags = &ctx.flags;
             let cube = &mut ctx.cube;
             let mut la = cube.alloc_local::<i8>(ScratchpadKind::L0A, s * s)?;
             let mut lb = cube.alloc_local::<i8>(ScratchpadKind::L0B, s * s)?;
@@ -820,11 +902,13 @@ mod tests {
             cube.copy_in(&mut lb, 0, &b, 0, s * s, &[])?;
             cube.mmad::<i8>(&mut lc, &mut la, &mut lb, s, s, s, false)?;
             let cube_done = cube.copy_out(&c, 0, &lc, 0, s * s, &[])?;
+            cube.set_flag(flags, 0, &[cube_done])?;
 
-            // Vector: read the cube's result (cross-core dep), add 100.
+            // Vector: wait on the flag, read the cube's result, add 100.
             let v = &mut ctx.vecs[0];
+            let ready = v.wait_flag(flags, 0)?;
             let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, s * s)?;
-            v.copy_in(&mut buf, 0, &c, 0, s * s, &[cube_done])?;
+            v.copy_in(&mut buf, 0, &c, 0, s * s, &[ready])?;
             v.vadds(&mut buf, 0, s * s, 100, 0)?;
             v.copy_out(&out, 0, &buf, 0, s * s, &[])?;
             Ok(())

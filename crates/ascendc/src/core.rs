@@ -5,8 +5,9 @@
 use crate::tensor::{GlobalTensor, LocalTensor};
 use ascend_sim::chip::ScratchpadKind;
 use ascend_sim::{
-    ChipSpec, CoreKind, CoreTimeline, CounterEvent, EngineKind, EventTime, FlagFile,
-    ScratchTracker, SimError, SimResult, SpanArgs, SpanId, SpanRecorder, StallCause, TraceSpan,
+    ChipSpec, CoreKind, CoreTimeline, CounterEvent, EngineKind, EventTime, FlagFile, HbAction,
+    HbEvent, HbRecorder, ScratchTracker, SimError, SimResult, SpanArgs, SpanId, SpanRecorder,
+    StallCause, TraceSpan,
 };
 use dtypes::{CubeInput, Element, Numeric};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +71,11 @@ pub struct Core<'a> {
     /// Counter samples (name, time, value) flushed here by queues on
     /// destroy; drained into the kernel profile at harvest.
     counters: Vec<(&'static str, EventTime, u32)>,
+    /// Happens-before event stream (GM access ranges, flag tokens,
+    /// queue/alloc edges) for the schedule analyzer ([`ascend_sim::hb`]).
+    /// Disabled by default; queues clone the recorder so their events
+    /// land in this core's program-order stream.
+    hb: HbRecorder,
 }
 
 impl<'a> Core<'a> {
@@ -83,6 +89,7 @@ impl<'a> Core<'a> {
             tracker: ScratchTracker::new(spec.validation.lifetime_checks()),
             recorder: SpanRecorder::new(2),
             counters: Vec::new(),
+            hb: HbRecorder::disabled(),
         }
     }
 
@@ -174,6 +181,29 @@ impl<'a> Core<'a> {
         self.recorder.take(block, core, final_time)
     }
 
+    /// Turns on happens-before event recording (launch machinery; on
+    /// whenever profiling or post-launch audits are active). Purely
+    /// observational — simulated time is unaffected.
+    pub(crate) fn enable_hb(&mut self) {
+        self.hb = HbRecorder::enabled();
+    }
+
+    /// A clone of the core's happens-before recorder sharing the same
+    /// stream; handed to [`crate::TQue`] so queue hand-off events land in
+    /// this core's program order.
+    pub(crate) fn hb_recorder(&self) -> HbRecorder {
+        self.hb.clone()
+    }
+
+    fn hb_record(&self, time: EventTime, what: &'static str, action: HbAction) {
+        self.hb.record(time, what, action);
+    }
+
+    /// Harvests this core's happens-before events, stamped with identity.
+    pub(crate) fn take_hb(&mut self, block: u32, core: u32) -> Vec<HbEvent> {
+        self.hb.take(block, core)
+    }
+
     /// Harvests this core's counter samples.
     pub(crate) fn take_counters(&mut self, block: u32, core: u32) -> Vec<CounterEvent> {
         self.counters
@@ -235,6 +265,14 @@ impl<'a> Core<'a> {
             self.tracker.on_alloc(id, idx, pos.name(), bytes, cap);
             t.alloc_id = id;
             t.owner = self.uid;
+            self.hb_record(
+                self.timeline.now(),
+                "alloc_local",
+                HbAction::Alloc {
+                    id,
+                    bytes: bytes as u64,
+                },
+            );
         }
         Ok(t)
     }
@@ -245,6 +283,13 @@ impl<'a> Core<'a> {
     pub fn free_local<T: Element>(&mut self, t: LocalTensor<T>) -> SimResult<()> {
         self.check_owner("free_local", t.owner)?;
         self.tracker.on_free(t.alloc_id, "free_local")?;
+        if t.alloc_id != 0 {
+            self.hb_record(
+                self.timeline.now(),
+                "free_local",
+                HbAction::Free { id: t.alloc_id },
+            );
+        }
         let idx = pad_index(t.pos);
         self.scratch_used[idx] = self.scratch_used[idx].saturating_sub(t.len() * T::SIZE);
         Ok(())
@@ -312,6 +357,15 @@ impl<'a> Core<'a> {
         let mut all_deps = vec![dst.ready];
         all_deps.extend_from_slice(deps);
         let done = self.timeline.exec(EngineKind::Mte2, cost, &all_deps)?;
+        let start = (src.region().offset + src_off * T::SIZE) as u64;
+        self.hb_record(
+            done,
+            "copy_in",
+            HbAction::GmRead {
+                start,
+                end: start + (len * T::SIZE) as u64,
+            },
+        );
         dst.ready = done;
         Ok(done)
     }
@@ -367,6 +421,35 @@ impl<'a> Core<'a> {
         let mut all_deps = vec![dst.ready];
         all_deps.extend_from_slice(deps);
         let done = self.timeline.exec(EngineKind::Mte2, cost, &all_deps)?;
+        // Strided rows are recorded per row so the analyzer sees exact GM
+        // byte ranges (a whole-span approximation would invent overlaps
+        // with writes that land between the rows).
+        if self.hb.is_enabled() && rows > 0 {
+            let reg = src.region().offset;
+            if src_stride == cols {
+                let start = (reg + src_off * T::SIZE) as u64;
+                self.hb_record(
+                    done,
+                    "copy_in_2d",
+                    HbAction::GmRead {
+                        start,
+                        end: start + (rows * cols * T::SIZE) as u64,
+                    },
+                );
+            } else {
+                for r in 0..rows {
+                    let start = (reg + (src_off + r * src_stride) * T::SIZE) as u64;
+                    self.hb_record(
+                        done,
+                        "copy_in_2d",
+                        HbAction::GmRead {
+                            start,
+                            end: start + (cols * T::SIZE) as u64,
+                        },
+                    );
+                }
+            }
+        }
         dst.ready = done;
         Ok(done)
     }
@@ -422,7 +505,17 @@ impl<'a> Core<'a> {
         };
         let mut all_deps = vec![src.ready];
         all_deps.extend_from_slice(deps);
-        self.timeline.exec(engine, cost, &all_deps)
+        let done = self.timeline.exec(engine, cost, &all_deps)?;
+        let start = (dst.region().offset + dst_off * T::SIZE) as u64;
+        self.hb_record(
+            done,
+            "copy_out_2d",
+            HbAction::GmWrite {
+                start,
+                end: start + (rows * cols * T::SIZE) as u64,
+            },
+        );
+        Ok(done)
     }
 
     /// `DataCopy` local → GM on MTE3 (UB/L1 sources) or the FIXP pipe
@@ -449,7 +542,17 @@ impl<'a> Core<'a> {
         let cost = self.spec.cost_datacopy(len * T::SIZE);
         let mut all_deps = vec![src.ready];
         all_deps.extend_from_slice(deps);
-        self.timeline.exec(engine, cost, &all_deps)
+        let done = self.timeline.exec(engine, cost, &all_deps)?;
+        let start = (dst.region().offset + dst_off * T::SIZE) as u64;
+        self.hb_record(
+            done,
+            "copy_out",
+            HbAction::GmWrite {
+                start,
+                end: start + (len * T::SIZE) as u64,
+            },
+        );
+        Ok(done)
     }
 
     /// `DataCopy` local → GM with dtype conversion on the way out (the
@@ -479,7 +582,17 @@ impl<'a> Core<'a> {
         let cost = self.spec.cost_datacopy(len * D::SIZE.max(S::SIZE));
         let mut all_deps = vec![src.ready];
         all_deps.extend_from_slice(deps);
-        self.timeline.exec(engine, cost, &all_deps)
+        let done = self.timeline.exec(engine, cost, &all_deps)?;
+        let start = (dst.region().offset + dst_off * D::SIZE) as u64;
+        self.hb_record(
+            done,
+            "copy_out_cast",
+            HbAction::GmWrite {
+                start,
+                end: start + (len * D::SIZE) as u64,
+            },
+        );
+        Ok(done)
     }
 
     /// Local → local copy: L1 → L0A/L0B rides MTE1 (cube cores); UB → UB
@@ -648,9 +761,13 @@ impl<'a> Core<'a> {
     /// [`FlagFile`](crate::BlockCtx::flags) once `after` (plus the
     /// core's pending scalar work) retires. Costs
     /// [`flag_set_cycles`](ChipSpec::flag_set_cycles) on the scalar
-    /// pipe — the pipe-drain and publish latency. Setting an already-set
-    /// flag overwrites it (AscendC semantics). Returns the cycle at
-    /// which the flag becomes observable to sibling cores.
+    /// pipe — the pipe-drain and publish latency. Each id is a counting
+    /// semaphore: repeated sets queue up and are consumed in FIFO order
+    /// by [`Core::wait_flag`], so a producer may run several hand-offs
+    /// ahead of its consumer on one id. Ids at or beyond
+    /// [`ChipSpec::flag_id_limit`] are rejected — real silicon has a
+    /// small fixed flag register file. Returns the cycle at which the
+    /// flag becomes observable to sibling cores.
     pub fn set_flag(
         &mut self,
         flags: &FlagFile,
@@ -660,30 +777,39 @@ impl<'a> Core<'a> {
         let done = self
             .timeline
             .exec(EngineKind::FLAG_ENGINE, self.spec.flag_set_cycles, after)?;
-        flags.set(id, done);
+        let token = flags.set(id, done)?;
+        self.hb_record(done, "CrossCoreSetFlag", HbAction::FlagSet { id, token });
         Ok(done)
     }
 
-    /// `CrossCoreWaitFlag`: blocks this core until flag `id` lands.
-    /// Costs [`flag_wait_cycles`](ChipSpec::flag_wait_cycles) of scalar
-    /// poll work; any remaining idle time until the set is observable is
-    /// attributed to the `wait:flag` stall category. Returns the core's
-    /// resumption time.
+    /// `CrossCoreWaitFlag`: blocks this core until the oldest pending
+    /// set on flag `id` is observable (FIFO; each wait consumes one
+    /// set). The set propagates across the mesh and becomes visible to
+    /// sibling cores [`flag_wait_cycles`](ChipSpec::flag_wait_cycles)
+    /// after it was published — the same arrival edge `SyncAll` uses.
+    /// The wait itself occupies one scalar slot
+    /// ([`flag_set_cycles`](ChipSpec::flag_set_cycles), a register
+    /// poll); a consumer arriving after the edge resumes immediately,
+    /// while one arriving early idles with the gap attributed to the
+    /// `wait:flag` stall category. Returns the core's resumption time.
     ///
-    /// Waiting on a flag no instruction has set is an error: with the
+    /// Waiting on a flag with no pending set is an error: with the
     /// deterministic schedule the set can never arrive later, so the
     /// wait models a hardware deadlock.
     pub fn wait_flag(&mut self, flags: &FlagFile, id: u32) -> SimResult<EventTime> {
-        let Some(set_at) = flags.get(id) else {
+        let Some((set_at, token)) = flags.consume(id)? else {
             return Err(SimError::InvalidArgument(format!(
                 "CrossCoreWaitFlag on unset flag {id}: no prior CrossCoreSetFlag \
                  is scheduled, so the wait would deadlock on hardware"
             )));
         };
         self.timeline
-            .exec(EngineKind::FLAG_ENGINE, self.spec.flag_wait_cycles, &[])?;
-        self.timeline.align_to_cause(set_at, StallCause::Flag);
-        Ok(self.timeline.now())
+            .exec(EngineKind::FLAG_ENGINE, self.spec.flag_set_cycles, &[])?;
+        self.timeline
+            .align_to_cause(set_at + self.spec.flag_wait_cycles, StallCause::Flag);
+        let now = self.timeline.now();
+        self.hb_record(now, "CrossCoreWaitFlag", HbAction::FlagWait { id, token });
+        Ok(now)
     }
 }
 

@@ -23,6 +23,8 @@
 //! `CrossCoreWaitFlag` instructions plus the global bandwidth bound, and
 //! returns an [`ascend_sim::KernelReport`].
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod core;
 pub mod queue;

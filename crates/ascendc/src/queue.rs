@@ -12,9 +12,16 @@
 use crate::core::Core;
 use crate::tensor::LocalTensor;
 use ascend_sim::chip::ScratchpadKind;
-use ascend_sim::{EventTime, SimError, SimResult};
+use ascend_sim::{EventTime, HbAction, HbRecorder, SimError, SimResult};
 use dtypes::Element;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Process-wide queue id source for the happens-before event stream.
+/// Ids never enter timing or reports, and the cooperative scheduler
+/// serializes block execution, so id assignment is deterministic per
+/// launch order within a process run.
+static NEXT_QUEUE_ID: AtomicU32 = AtomicU32::new(1);
 
 /// A buffer queue binding a producer engine to a consumer engine.
 pub struct TQue<T: Element> {
@@ -39,6 +46,11 @@ pub struct TQue<T: Element> {
     checksums: bool,
     /// FIFO of FNV-1a content checksums, parallel to `queued`.
     sums: VecDeque<u64>,
+    /// Happens-before recorder cloned from the owning core: queue events
+    /// land in that core's program-order stream.
+    hb: HbRecorder,
+    /// Process-unique queue id for the happens-before event stream.
+    qid: u32,
 }
 
 /// FNV-1a over the little-endian bytes of `data` — cheap, deterministic
@@ -73,6 +85,13 @@ impl<T: Element> TQue<T> {
             free.push_back(core.alloc_local::<T>(pos, buf_elems)?);
         }
         let tracked = core.spec().validation.lifetime_checks();
+        let hb = core.hb_recorder();
+        let qid = NEXT_QUEUE_ID.fetch_add(1, Ordering::Relaxed);
+        hb.record(
+            core.now(),
+            "TQue::new",
+            HbAction::QueueCreate { queue: qid },
+        );
         Ok(TQue {
             pos,
             buf_elems,
@@ -85,6 +104,8 @@ impl<T: Element> TQue<T> {
             owner: if tracked { core.uid() } else { 0 },
             checksums: core.spec().validation.checksums(),
             sums: VecDeque::new(),
+            hb,
+            qid,
         })
     }
 
@@ -150,6 +171,8 @@ impl<T: Element> TQue<T> {
         if self.checksums {
             self.sums.push_back(fnv1a(&t.data));
         }
+        self.hb
+            .record(t.ready, "TQue::enque", HbAction::Enque { queue: self.qid });
         self.queued.push_back(t);
         Ok(())
     }
@@ -180,6 +203,8 @@ impl<T: Element> TQue<T> {
                 });
             }
         }
+        self.hb
+            .record(t.ready, "TQue::deque", HbAction::Deque { queue: self.qid });
         Ok(t)
     }
 
@@ -223,6 +248,11 @@ impl<T: Element> TQue<T> {
         while let Some(t) = self.free.pop_front() {
             core.free_local(t)?;
         }
+        self.hb.record(
+            core.now(),
+            "TQue::destroy",
+            HbAction::QueueDestroy { queue: self.qid },
+        );
         Ok(())
     }
 }

@@ -2,6 +2,8 @@
 //! Criterion benches: size sweeps, table printing, and the composed
 //! baseline operators (e.g. the PyTorch top-p pipeline).
 
+#![forbid(unsafe_code)]
+
 use ascend_sim::mem::GlobalMemory;
 use ascend_sim::{ChipSpec, KernelReport};
 use ascendc::{GlobalTensor, SimResult};

@@ -14,6 +14,8 @@
 //! * [`radix`] — order-preserving bit encodings used by the radix-sort
 //!   pre-/post-processing phases (Knuth §5.2.5, exercises 8 and 9).
 
+#![forbid(unsafe_code)]
+
 pub mod element;
 pub mod f16;
 pub mod radix;

@@ -20,6 +20,8 @@
 //!   `torch.multinomial`, baseline top-k), implemented either as real
 //!   simulator kernels or as documented cost models.
 
+#![forbid(unsafe_code)]
+
 pub mod alias;
 pub mod baselines;
 pub mod compress;

@@ -177,9 +177,10 @@ where
 ///
 /// Publishes a `CrossCoreSetFlag` per tile when its `w` slice lands in
 /// GM and returns the flag ids; the vector side pays a matching
-/// `CrossCoreWaitFlag` before reading. Real silicon has a small flag-id
-/// space that kernels must cycle through; the simulator's per-block flag
-/// file is unbounded, so the tile index serves as the id.
+/// `CrossCoreWaitFlag` before reading. The flag file models the chip's
+/// small register space (`ChipSpec::flag_id_limit`), so the tile index
+/// cycles through it; each id is a FIFO, pairing the cube's i-th set
+/// with the i-th wait even when tiles outnumber registers.
 #[allow(clippy::too_many_arguments)]
 fn cube_tile_scans<T, M>(
     cube: &mut ascendc::Core<'_>,
@@ -222,7 +223,7 @@ where
         qa.free_tensor(la, mm);
         let ev = cube.copy_out_cast::<T::Acc, M>(w, off, &lc, 0, valid, &[])?;
         qc.free_tensor(lc, ev);
-        let id = i as u32;
+        let id = i as u32 % flags.limit();
         cube.set_flag(flags, id, &[ev])?;
         ids.push(id);
     }

@@ -82,10 +82,15 @@ where
         let my_pairs: Vec<usize> = (block..pairs).step_by(nblocks).collect();
 
         // ---- Cube core: interleave the pair's rows tile by tile. ----
+        // The cube alternates lanes within a tile while each vector core
+        // drains one lane sequentially, so the flag-id space is split in
+        // half per lane: within a lane, set order equals wait order, and
+        // the per-id FIFO keeps the pairs aligned.
         let phase = ctx.span_begin("CubePairedTileScans");
-        let mut done: Vec<Vec<Vec<ascendc::EventTime>>> =
-            vec![vec![Vec::new(); vec_per_core]; my_pairs.len()];
+        let half = ctx.flags.limit() / 2;
+        let mut fid: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); vec_per_core]; my_pairs.len()];
         {
+            let flags = &ctx.flags;
             let cube = &mut ctx.cube;
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
             cube.copy_in(&mut lb, 0, &consts.upper, 0, l, &[])?;
@@ -121,7 +126,10 @@ where
                             },
                         );
                         cube.span_end_at(tile, ev);
-                        done[pi][lane].push(ev);
+                        let k: usize = fid[..=pi].iter().map(|p| p[lane].len()).sum();
+                        let id = lane as u32 * half + (k as u32 % half);
+                        cube.set_flag(flags, id, &[ev])?;
+                        fid[pi][lane].push(id);
                     }
                 }
             }
@@ -134,6 +142,7 @@ where
         // ---- Vector cores: one row of each pair per core. ----
         let phase = ctx.span_begin("VecPropagation");
         for lane in 0..vec_per_core.min(2) {
+            let flags = &ctx.flags;
             let vc = &mut ctx.vecs[lane];
             let mut q = TQue::<O>::new(vc, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             for (pi, &pair) in my_pairs.iter().enumerate() {
@@ -146,8 +155,9 @@ where
                 let mut partial_ready = 0;
                 for (t, &(off, valid)) in spans.iter().enumerate() {
                     let tile = vc.span_begin("tile");
+                    let ready = vc.wait_flag(flags, fid[pi][lane][t])?;
                     let mut buf = q.alloc_tensor()?;
-                    vc.copy_in(&mut buf, 0, &y, base + off, valid, &[done[pi][lane][t]])?;
+                    vc.copy_in(&mut buf, 0, &y, base + off, valid, &[ready])?;
                     for (row_off, row_len) in tile_spans(valid, s) {
                         vc.vadds(&mut buf, row_off, row_len, partial, partial_ready)?;
                         let (p, pr) = vc.extract(&buf, row_off + row_len - 1)?;
@@ -203,9 +213,14 @@ where
         let nblocks = ctx.block_dim as usize;
         let my_rows: Vec<usize> = (block..batch).step_by(nblocks).collect();
 
+        // Tile hand-offs cycle the chip's flag registers in (row, tile)
+        // order; the single vector core waits in the same order, so the
+        // per-id FIFOs stay aligned.
         let phase = ctx.span_begin("CubeThreeMatmuls");
-        let mut done = vec![Vec::with_capacity(spans.len()); my_rows.len()];
+        let flag_ids = ctx.flags.limit();
+        let nspans = spans.len();
         {
+            let flags = &ctx.flags;
             let cube = &mut ctx.cube;
             let mut l1_u = cube.alloc_local::<T>(ScratchpadKind::L1, l)?;
             let mut l1_lm = cube.alloc_local::<T>(ScratchpadKind::L1, l)?;
@@ -221,7 +236,7 @@ where
 
             for (ri, &row) in my_rows.iter().enumerate() {
                 let base = row * len;
-                for &(off, valid) in &spans {
+                for (t, &(off, valid)) in spans.iter().enumerate() {
                     let tile = cube.span_begin("tile");
                     let mut la = qa.alloc_tensor()?;
                     if valid < l {
@@ -253,12 +268,16 @@ where
                         },
                     );
                     cube.span_end_at(tile, ev);
-                    done[ri].push(ev);
+                    cube.set_flag(flags, (ri * nspans + t) as u32 % flag_ids, &[ev])?;
                 }
             }
             cube.free_local(c2)?;
             cube.free_local(c1)?;
             cube.free_local(lb)?;
+            cube.free_local(l1_c1)?;
+            cube.free_local(l1_ones)?;
+            cube.free_local(l1_lm)?;
+            cube.free_local(l1_u)?;
             qa.destroy(cube)?;
         }
         ctx.span_end(phase);
@@ -268,6 +287,7 @@ where
         // Fig. 5 exposes for large batch counts).
         let phase = ctx.span_begin("VecPropagation");
         {
+            let flags = &ctx.flags;
             let vc = &mut ctx.vecs[0];
             let mut q = TQue::<O>::new(vc, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             for (ri, &row) in my_rows.iter().enumerate() {
@@ -276,8 +296,9 @@ where
                 let mut partial_ready = 0;
                 for (t, &(off, valid)) in spans.iter().enumerate() {
                     let tile = vc.span_begin("tile");
+                    let ready = vc.wait_flag(flags, (ri * nspans + t) as u32 % flag_ids)?;
                     let mut buf = q.alloc_tensor()?;
-                    vc.copy_in(&mut buf, 0, &y, base + off, valid, &[done[ri][t]])?;
+                    vc.copy_in(&mut buf, 0, &y, base + off, valid, &[ready])?;
                     vc.vadds(&mut buf, 0, valid, partial, partial_ready)?;
                     let (p, pr) = vc.extract(&buf, valid - 1)?;
                     partial = p;

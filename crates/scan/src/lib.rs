@@ -26,6 +26,8 @@
 //! Functional results are bit-exact products of the simulated engines;
 //! performance comes from the simulator's timing model ([`KernelReport`]).
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod baseline;
 pub mod batched;

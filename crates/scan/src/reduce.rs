@@ -125,7 +125,9 @@ where
                     cube.span_end_at(tile, ev);
                     // Priced AIC→AIV hand-off: one CrossCoreSetFlag per
                     // tile, matched by the consumer's CrossCoreWaitFlag.
-                    cube.set_flag(flags, (t0 + ti) as u32, &[ev])?;
+                    // Tile indices cycle the chip's small flag-id space;
+                    // each id's FIFO keeps set/wait pairs aligned.
+                    cube.set_flag(flags, (t0 + ti) as u32 % flags.limit(), &[ev])?;
                 }
             }
             cube.free_local(lb)?;
@@ -147,7 +149,7 @@ where
             let mut total_ready = 0;
             for (ti, &(_, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
                 let rows = valid.div_ceil(s);
-                let dep = vc.wait_flag(flags, (t0 + ti) as u32)?;
+                let dep = vc.wait_flag(flags, (t0 + ti) as u32 % flags.limit())?;
                 vc.copy_in(&mut buf, 0, &cols, (t0 + ti) * s, rows, &[dep])?;
                 let (sum, ready) = vc.reduce_sum(&buf, 0, rows)?;
                 total = total.add(sum);

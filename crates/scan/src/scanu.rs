@@ -45,11 +45,16 @@ where
     let y = GlobalTensor::<O>::new(gm, n)?;
     let spans = tile_spans(n, l);
 
+    // Tile hand-offs cycle through the chip's cross-core flag registers;
+    // the per-id FIFO pairs the cube's t-th set with the vector core's
+    // t-th wait even when the cube runs several tiles ahead.
+    let flag_ids = spec.flag_id_limit;
+
     let mut report = launch(spec, gm, 1, "ScanU", |ctx| {
         // ---- Cube core: local row scans per tile (Lines 4-8). ----
         let phase = ctx.span_begin("CubeLocalScans");
-        let mut cube_done = Vec::with_capacity(spans.len());
         {
+            let flags = &ctx.flags;
             let cube = &mut ctx.cube;
             // Load U_s in L0B once (Line 3).
             let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, s * s)?;
@@ -67,7 +72,7 @@ where
             };
             let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?.named("qa(L0A)");
             let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?.named("qc(L0C)");
-            for &(off, valid) in &spans {
+            for (t, &(off, valid)) in spans.iter().enumerate() {
                 let rows = valid.div_ceil(s);
                 let tile = cube.span_begin("tile");
                 let mut la = qa.alloc_tensor()?;
@@ -90,7 +95,7 @@ where
                     },
                 );
                 cube.span_end_at(tile, ev);
-                cube_done.push(ev);
+                cube.set_flag(flags, t as u32 % flag_ids, &[ev])?;
             }
             cube.free_local(lb)?;
             qa.destroy(cube)?;
@@ -101,14 +106,33 @@ where
         // ---- Vector core: partial-sum propagation (Lines 9-15). ----
         let phase = ctx.span_begin("VecPropagation");
         {
+            let flags = &ctx.flags;
             let v = &mut ctx.vecs[0];
             let mut q = TQue::<O>::new(v, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             let mut partial = O::zero();
             let mut partial_ready = 0;
+            // Software-pipelined double buffering: the wait + load for
+            // tile t+1 issue before tile t's row chain, so the MTE2
+            // transfer overlaps the propagation work instead of queuing
+            // behind it on the scalar pipe.
+            let fetch = |v: &mut ascendc::Core<'_>, q: &mut TQue<O>, t: usize| {
+                let (off, valid) = spans[t];
+                let ready = v.wait_flag(flags, t as u32 % flag_ids)?;
+                let mut buf = q.alloc_tensor()?;
+                v.copy_in(&mut buf, 0, &y, off, valid, &[ready])?;
+                SimResult::Ok(buf)
+            };
+            let mut pending = if spans.is_empty() {
+                None
+            } else {
+                Some(fetch(v, &mut q, 0)?)
+            };
             for (t, &(off, valid)) in spans.iter().enumerate() {
                 let tile = v.span_begin("tile");
-                let mut buf = q.alloc_tensor()?;
-                v.copy_in(&mut buf, 0, &y, off, valid, &[cube_done[t]])?;
+                let mut buf = pending.take().expect("tile t was prefetched");
+                if t + 1 < spans.len() {
+                    pending = Some(fetch(v, &mut q, t + 1)?);
+                }
                 for (row_off, row_len) in tile_spans(valid, s) {
                     v.vadds(&mut buf, row_off, row_len, partial, partial_ready)?;
                     let (p, pr) = v.extract(&buf, row_off + row_len - 1)?;

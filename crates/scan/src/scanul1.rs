@@ -51,10 +51,14 @@ where
     let y = GlobalTensor::<O>::new(gm, n)?;
     let spans = tile_spans(n, l);
 
+    // Tile hand-offs cycle through the chip's cross-core flag registers
+    // (per-id FIFO pairs set t with wait t).
+    let flag_ids = spec.flag_id_limit;
+
     let mut report = launch(spec, gm, 1, "ScanUL1", |ctx| {
         let phase = ctx.span_begin("CubeThreeMatmuls");
-        let mut cube_done = Vec::with_capacity(spans.len());
         {
+            let flags = &ctx.flags;
             let cube = &mut ctx.cube;
             // Load U_s, L_s^-, 1_s into L1 once (Line 3).
             let mut l1_u = cube.alloc_local::<T>(ScratchpadKind::L1, l)?;
@@ -75,7 +79,7 @@ where
             let mut c1 = cube.alloc_local::<T::Acc>(ScratchpadKind::L0C, l)?;
             let mut c2 = cube.alloc_local::<T::Acc>(ScratchpadKind::L0C, l)?;
 
-            for &(off, valid) in &spans {
+            for (t, &(off, valid)) in spans.iter().enumerate() {
                 let tile = cube.span_begin("tile");
                 // Load x_l to L0A, zero-padding a partial tile (Line 6).
                 let mut la = qa.alloc_tensor()?;
@@ -112,11 +116,15 @@ where
                     },
                 );
                 cube.span_end_at(tile, ev);
-                cube_done.push(ev);
+                cube.set_flag(flags, t as u32 % flag_ids, &[ev])?;
             }
             cube.free_local(c2)?;
             cube.free_local(c1)?;
             cube.free_local(lb)?;
+            cube.free_local(l1_c1)?;
+            cube.free_local(l1_ones)?;
+            cube.free_local(l1_lm)?;
+            cube.free_local(l1_u)?;
             qa.destroy(cube)?;
         }
         ctx.span_end(phase);
@@ -124,14 +132,16 @@ where
         // ---- Vector core: one partial add per tile (Lines 14-18). ----
         let phase = ctx.span_begin("VecPropagation");
         {
+            let flags = &ctx.flags;
             let v = &mut ctx.vecs[0];
             let mut q = TQue::<O>::new(v, ScratchpadKind::Ub, 2, l)?.named("q(UB)");
             let mut partial = O::zero();
             let mut partial_ready = 0;
             for (t, &(off, valid)) in spans.iter().enumerate() {
                 let tile = v.span_begin("tile");
+                let ready = v.wait_flag(flags, t as u32 % flag_ids)?;
                 let mut buf = q.alloc_tensor()?;
-                v.copy_in(&mut buf, 0, &y, off, valid, &[cube_done[t]])?;
+                v.copy_in(&mut buf, 0, &y, off, valid, &[ready])?;
                 v.vadds(&mut buf, 0, valid, partial, partial_ready)?;
                 let (p, pr) = v.extract(&buf, valid - 1)?;
                 partial = p;

@@ -47,6 +47,20 @@ for key in '"traceEvents"' 'Phase I' 'Phase II' 'SyncAll' 'wait:dep' 'wait:barri
 done
 rm -f mcscan_trace.json
 
+echo "==> simlint gate: every shipped kernel's schedule must be clean"
+# One trace file per kernel (concatenated launches would look
+# concurrent to the analyzer); simlint exits nonzero on ANY diagnostic
+# — races and sync gaps, but also leak/balance warnings.
+for k in scanu scanul1 mcscan cumsum batched; do
+  cargo run --release -p bench --bin trace -- "$k" 65536 "simlint_$k.json"
+done
+cargo run --release -p bench --bin simlint -- \
+  simlint_scanu.json simlint_scanul1.json simlint_mcscan.json \
+  simlint_cumsum.json simlint_batched.json \
+  || { echo "simlint found schedule diagnostics"; exit 1; }
+rm -f simlint_scanu.json simlint_scanul1.json simlint_mcscan.json \
+  simlint_cumsum.json simlint_batched.json
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
