@@ -9,6 +9,11 @@
 //!   order;
 //! * **flag edges** — a `CrossCoreSetFlag` happens-before the
 //!   `CrossCoreWaitFlag` that consumed its token;
+//! * **grid-flag edges** — a `GridSetFlag` happens-before the
+//!   `GridWaitFlag` that consumed its token. Unlike per-block flags,
+//!   grid flags pair *launch-wide* (tokens are launch-unique): they are
+//!   the mailbox protocol of chained look-back scans, where block `b+1`
+//!   waits on block `b`'s aggregate instead of a global barrier;
 //! * **queue edges** — the i-th `enque` on a `TQue` happens-before the
 //!   i-th `deque`;
 //! * **barrier rounds** — everything program-order-before any core's
@@ -161,6 +166,10 @@ pub fn analyze(events: &[HbEvent]) -> Vec<Diagnostic> {
     // Flag token pairing: (block, token) -> set / wait node.
     let mut flag_sets: HashMap<(u32, u64), usize> = HashMap::new();
     let mut flag_waits: HashMap<(u32, u64), usize> = HashMap::new();
+    // Grid (launch-wide) flag pairing: tokens are launch-unique, so they
+    // pair globally rather than per block.
+    let mut grid_sets: HashMap<u64, usize> = HashMap::new();
+    let mut grid_waits: HashMap<u64, usize> = HashMap::new();
     // Queue pairing and lints: (block, queue) -> per-kind node lists.
     #[derive(Default)]
     struct QueueInfo {
@@ -178,8 +187,14 @@ pub fn analyze(events: &[HbEvent]) -> Vec<Diagnostic> {
     // Pre-register every set so a wait can match a set recorded later in
     // the stream (the deadlock shape — the edge then closes an HB cycle).
     for (i, e) in events.iter().enumerate() {
-        if let HbAction::FlagSet { token, .. } = e.action {
-            flag_sets.insert((e.block, token), i);
+        match e.action {
+            HbAction::FlagSet { token, .. } => {
+                flag_sets.insert((e.block, token), i);
+            }
+            HbAction::GridFlagSet { token, .. } => {
+                grid_sets.insert(token, i);
+            }
+            _ => {}
         }
     }
     for (i, e) in events.iter().enumerate() {
@@ -194,6 +209,21 @@ pub fn analyze(events: &[HbEvent]) -> Vec<Diagnostic> {
                         code: "unmatched-wait",
                         message: format!(
                             "{} consumed flag token {token} that no CrossCoreSetFlag published",
+                            place(e)
+                        ),
+                    }),
+                }
+            }
+            HbAction::GridFlagSet { .. } => {}
+            HbAction::GridFlagWait { token, .. } => {
+                grid_waits.insert(token, i);
+                match grid_sets.get(&token) {
+                    Some(&s) => preds[i].push(s),
+                    None => diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        code: "unmatched-wait",
+                        message: format!(
+                            "{} consumed grid flag token {token} that no GridSetFlag published",
                             place(e)
                         ),
                     }),
@@ -493,6 +523,49 @@ pub fn analyze(events: &[HbEvent]) -> Vec<Diagnostic> {
             }
         }
     }
+    // Grid flags: same coverage lints, but grouped per id launch-wide —
+    // the id space is shared by every block in the launch.
+    let mut by_grid_id: HashMap<u32, Vec<(u64, usize)>> = HashMap::new();
+    for (&token, &node) in &grid_sets {
+        if let HbAction::GridFlagSet { id, .. } = events[node].action {
+            by_grid_id.entry(id).or_default().push((token, node));
+        }
+    }
+    let mut grid_keys: Vec<u32> = by_grid_id.keys().copied().collect();
+    grid_keys.sort_unstable();
+    for id in grid_keys {
+        let sets = by_grid_id.get_mut(&id).expect("key from map");
+        sets.sort_unstable();
+        for (si, &(token, node)) in sets.iter().enumerate() {
+            if !grid_waits.contains_key(&token) {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "flag-leak",
+                    message: format!(
+                        "{} set grid flag id {id} (token {token}) but no GridWaitFlag \
+                         ever consumed it",
+                        place(&events[node]),
+                    ),
+                });
+            }
+            let reused = sets[..si].iter().find(|&&(t0, n0)| {
+                epoch[n0] < epoch[node] && !grid_waits.get(&t0).is_some_and(|&w| hb(w, node))
+            });
+            if let Some(&(t0, n0)) = reused {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: "flag-reuse",
+                    message: format!(
+                        "{} reuses grid flag id {id} across barrier rounds: the \
+                         round-{} set (token {t0}) by {} is still pending",
+                        place(&events[node]),
+                        epoch[n0],
+                        place(&events[n0]),
+                    ),
+                });
+            }
+        }
+    }
 
     // ---- Queue and allocation lints --------------------------------------
     let mut queue_keys: Vec<(u32, u32)> = queues.keys().copied().collect();
@@ -676,6 +749,86 @@ mod tests {
         // Without the flag pair, the same accesses race.
         let racy = [events[0], events[3]];
         assert_eq!(codes(&analyze(&racy)), ["gm-race"]);
+    }
+
+    #[test]
+    fn grid_flag_edge_orders_cross_block_lookback() {
+        // Block 0 writes its mailbox, publishes a grid flag; block 1
+        // waits on the token then reads the mailbox: clean — the
+        // chained look-back hand-off needs no barrier.
+        let events = [
+            ev(0, 1, 10, "DataCopy", HbAction::GmWrite { start: 0, end: 4 }),
+            ev(
+                0,
+                1,
+                16,
+                "GridSetFlag",
+                HbAction::GridFlagSet { id: 0, token: 0 },
+            ),
+            ev(
+                1,
+                1,
+                40,
+                "GridWaitFlag",
+                HbAction::GridFlagWait { id: 0, token: 0 },
+            ),
+            ev(1, 1, 50, "DataCopy", HbAction::GmRead { start: 0, end: 4 }),
+        ];
+        assert!(analyze(&events).is_empty());
+        // Without the grid flag pair the same mailbox accesses race.
+        let racy = [events[0], events[3]];
+        assert_eq!(codes(&analyze(&racy)), ["gm-race"]);
+    }
+
+    #[test]
+    fn grid_flag_tokens_pair_launch_wide() {
+        // Tokens are launch-unique: block 2 consuming block 0's token is
+        // a valid pairing even though the blocks differ (unlike
+        // per-block flags, which pair within one block).
+        let events = [
+            ev(
+                0,
+                1,
+                10,
+                "GridSetFlag",
+                HbAction::GridFlagSet { id: 3, token: 7 },
+            ),
+            ev(
+                2,
+                1,
+                40,
+                "GridWaitFlag",
+                HbAction::GridFlagWait { id: 3, token: 7 },
+            ),
+        ];
+        assert!(analyze(&events).is_empty());
+    }
+
+    #[test]
+    fn grid_flag_coverage_diagnostics() {
+        // A grid set nobody consumes leaks (e.g. a look-back chain whose
+        // tail lane publishes although no successor exists).
+        let leak = [ev(
+            0,
+            1,
+            10,
+            "GridSetFlag",
+            HbAction::GridFlagSet { id: 2, token: 0 },
+        )];
+        let diags = analyze(&leak);
+        assert_eq!(codes(&diags), ["flag-leak"]);
+        assert!(diags[0].message.contains("grid flag id 2"));
+        // A grid wait consuming an unpublished token is an error.
+        let orphan = [ev(
+            1,
+            1,
+            10,
+            "GridWaitFlag",
+            HbAction::GridFlagWait { id: 2, token: 9 },
+        )];
+        let diags = analyze(&orphan);
+        assert_eq!(codes(&diags), ["unmatched-wait"]);
+        assert!(diags[0].message.contains("GridSetFlag"));
     }
 
     #[test]

@@ -13,6 +13,13 @@ use crate::trace::json_escape;
 /// output size, `useful_bytes`) by the simulated time, while
 /// `traffic_gbps` divides the bytes the kernel actually moved (which can
 /// be larger — e.g. MCScan touches ≈5·N bytes to produce 2·N useful ones).
+///
+/// Traffic is further attributed between DRAM and L2: when the kernel's
+/// GM footprint (`working_set`) fits in L2, repeated accesses to the
+/// same bytes are L2 re-reads, not DRAM transactions, so the modeled
+/// DRAM rate ([`KernelReport::dram_traffic_gbps`]) is bounded by both
+/// the footprint and the chip's HBM peak; the remainder is reported as
+/// L2-served bandwidth ([`KernelReport::l2_traffic_gbps`]).
 #[derive(Clone, Debug)]
 pub struct KernelReport {
     /// Kernel name (for harness output).
@@ -31,6 +38,9 @@ pub struct KernelReport {
     pub useful_bytes: u64,
     /// The operator's element count, set by the caller.
     pub elements: u64,
+    /// High-water GM footprint in bytes (distinct device memory touched),
+    /// used to attribute traffic between DRAM and L2.
+    pub working_set: u64,
     /// Total busy cycles per engine kind, summed over all cores.
     pub engine_busy: [u64; EngineKind::ALL.len()],
     /// Total instructions per engine kind, summed over all cores.
@@ -91,9 +101,39 @@ impl KernelReport {
         self.useful_bytes as f64 / self.time_s() / 1e9
     }
 
-    /// Achieved raw traffic bandwidth in GB/s (bytes actually moved).
+    /// Achieved raw traffic bandwidth in GB/s (bytes actually moved,
+    /// regardless of whether they were served by DRAM or L2).
     pub fn traffic_gbps(&self) -> f64 {
         (self.bytes_read + self.bytes_written) as f64 / self.time_s() / 1e9
+    }
+
+    /// Bytes that actually crossed the DRAM (HBM) bus. When the GM
+    /// footprint fits in L2, each resident byte crosses DRAM at most
+    /// twice (initial fill + final writeback) and everything else is an
+    /// L2 re-read; otherwise the whole stream is DRAM traffic.
+    pub fn dram_bytes(&self, spec: &ChipSpec) -> u64 {
+        let total = self.bytes_read + self.bytes_written;
+        if self.working_set > 0 && self.working_set <= spec.l2_capacity as u64 {
+            total.min(2 * self.working_set)
+        } else {
+            total
+        }
+    }
+
+    /// Modeled DRAM bandwidth in GB/s: [`KernelReport::dram_bytes`] over
+    /// the simulated time, clamped to the chip's HBM peak — modeled DRAM
+    /// traffic can never exceed what the memory system can deliver.
+    pub fn dram_traffic_gbps(&self, spec: &ChipSpec) -> f64 {
+        let rate = self.dram_bytes(spec) as f64 / self.time_s() / 1e9;
+        rate.min(spec.hbm_bytes_per_sec / 1e9)
+    }
+
+    /// Bandwidth served out of L2 in GB/s: the raw traffic rate minus
+    /// the DRAM-attributed rate. Nonzero only for L2-resident kernels,
+    /// which is how an L2-resident kernel can legitimately sustain more
+    /// than the HBM peak end to end.
+    pub fn l2_traffic_gbps(&self, spec: &ChipSpec) -> f64 {
+        (self.traffic_gbps() - self.dram_traffic_gbps(spec)).max(0.0)
     }
 
     /// Throughput in giga-elements per second (Fig. 9's unit).
@@ -157,6 +197,7 @@ impl KernelReport {
             bytes_written: parts.iter().map(|p| p.bytes_written).sum(),
             useful_bytes: 0,
             elements: 0,
+            working_set: parts.iter().map(|p| p.working_set).max().unwrap_or(0),
             engine_busy,
             engine_instructions,
             sync_rounds: parts.iter().map(|p| p.sync_rounds).sum(),
@@ -167,15 +208,16 @@ impl KernelReport {
     }
 
     /// Renders the report as one JSON object with a stable schema
-    /// (`bench-scan/v2`): identification (`name`, `blocks`), totals
-    /// (`cycles`, `time_us`, traffic and byte counters, `sync_rounds`,
-    /// `barrier_wait_cycles`, `flag_wait_cycles`), derived rates
-    /// (`gbps`, `traffic_gbps`, `gelems`, `fraction_of_peak` — `0.0`
-    /// when the underlying denominator is zero), and a per-engine map
-    /// `engines` keyed by engine name with `busy_cycles`,
-    /// `instructions`, `utilization`, and the stall breakdown
-    /// (`stall_dependency`, `stall_contention`, `stall_barrier`,
-    /// `stall_flag`).
+    /// (`bench-scan/v3`): identification (`name`, `blocks`), totals
+    /// (`cycles`, `time_us`, traffic and byte counters, `working_set`,
+    /// `sync_rounds`, `barrier_wait_cycles`, `flag_wait_cycles`),
+    /// derived rates (`gbps`, `traffic_gbps` — DRAM-attributed and
+    /// clamped to the HBM peak — `l2_traffic_gbps`, `gelems`,
+    /// `fraction_of_peak` — `0.0` when the underlying denominator is
+    /// zero), and a per-engine map `engines` keyed by engine name with
+    /// `busy_cycles`, `instructions`, `utilization`, and the stall
+    /// breakdown (`stall_dependency`, `stall_contention`,
+    /// `stall_barrier`, `stall_flag`).
     pub fn to_json(&self, spec: &ChipSpec) -> String {
         fn jf(v: f64) -> String {
             if v.is_finite() {
@@ -190,7 +232,16 @@ impl KernelReport {
         } else {
             0.0
         };
-        let traffic_gbps = if has_time { self.traffic_gbps() } else { 0.0 };
+        let traffic_gbps = if has_time {
+            self.dram_traffic_gbps(spec)
+        } else {
+            0.0
+        };
+        let l2_traffic_gbps = if has_time {
+            self.l2_traffic_gbps(spec)
+        } else {
+            0.0
+        };
         let gelems = if has_time && self.elements > 0 {
             self.gelems()
         } else {
@@ -231,8 +282,9 @@ impl KernelReport {
         }
         format!(
             "{{\"name\":\"{}\",\"blocks\":{},\"cycles\":{},\"time_us\":{},\
-             \"gbps\":{},\"traffic_gbps\":{},\"gelems\":{},\"fraction_of_peak\":{},\
-             \"bytes_read\":{},\"bytes_written\":{},\"useful_bytes\":{},\"elements\":{},\
+             \"gbps\":{},\"traffic_gbps\":{},\"l2_traffic_gbps\":{},\"gelems\":{},\
+             \"fraction_of_peak\":{},\"bytes_read\":{},\"bytes_written\":{},\
+             \"useful_bytes\":{},\"elements\":{},\"working_set\":{},\
              \"sync_rounds\":{},\"barrier_wait_cycles\":[{}],\"flag_wait_cycles\":[{}],\
              \"engines\":{{{}}}}}",
             json_escape(&self.name),
@@ -241,12 +293,14 @@ impl KernelReport {
             jf(self.time_us()),
             jf(gbps),
             jf(traffic_gbps),
+            jf(l2_traffic_gbps),
             jf(gelems),
             jf(fraction_of_peak),
             self.bytes_read,
             self.bytes_written,
             self.useful_bytes,
             self.elements,
+            self.working_set,
             self.sync_rounds,
             barrier_waits,
             flag_waits,
@@ -269,6 +323,7 @@ mod tests {
             bytes_written: 2_000_000,
             useful_bytes: 2_000_000,
             elements: 1_000_000,
+            working_set: 2_500_000,
             engine_busy: [0, 0, 0, 0, 900_000, 0, 0],
             engine_instructions: [0; 7],
             sync_rounds: 1,
@@ -298,6 +353,52 @@ mod tests {
     }
 
     #[test]
+    fn dram_attribution_separates_l2_rereads() {
+        let spec = ChipSpec::ascend_910b4();
+        // A 1 MB footprint hammered for 1 GB of traffic in 1 ms: the raw
+        // rate is 1000 GB/s, above the 800 GB/s HBM peak, but only the
+        // fill + writeback of the footprint can be DRAM transactions.
+        let mut r = report();
+        r.working_set = 1_000_000;
+        r.bytes_read = 900_000_000;
+        r.bytes_written = 100_000_000;
+        assert!((r.traffic_gbps() - 1000.0).abs() < 1e-9);
+        assert_eq!(r.dram_bytes(&spec), 2_000_000);
+        assert!((r.dram_traffic_gbps(&spec) - 2.0).abs() < 1e-9);
+        assert!((r.l2_traffic_gbps(&spec) - 998.0).abs() < 1e-9);
+        // The JSON `traffic_gbps` is the DRAM-attributed figure.
+        let json = r.to_json(&spec);
+        assert!(json.contains("\"traffic_gbps\":2.0"));
+        assert!(json.contains("\"l2_traffic_gbps\":998.0"));
+        assert!(json.contains("\"working_set\":1000000"));
+    }
+
+    #[test]
+    fn dram_traffic_is_clamped_to_hbm_peak() {
+        let spec = ChipSpec::ascend_910b4();
+        // Footprint larger than L2: all traffic is DRAM, but the modeled
+        // rate still cannot exceed what the HBM bus can deliver.
+        let mut r = report();
+        r.working_set = 300 << 20;
+        r.bytes_read = 900_000_000;
+        r.bytes_written = 100_000_000;
+        assert_eq!(r.dram_bytes(&spec), 1_000_000_000);
+        assert!((r.dram_traffic_gbps(&spec) - 800.0).abs() < 1e-9);
+        assert!((r.l2_traffic_gbps(&spec) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_working_set_means_no_l2_attribution() {
+        // Hand-built reports (and pre-v3 fixtures) leave working_set at
+        // zero; traffic then stays fully DRAM-attributed (clamped only).
+        let spec = ChipSpec::ascend_910b4();
+        let mut r = report();
+        r.working_set = 0;
+        assert_eq!(r.dram_bytes(&spec), 5_000_000);
+        assert!((r.dram_traffic_gbps(&spec) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn utilization_and_peak_fraction() {
         let r = report();
         let u = r.utilization(EngineKind::Cube, 20);
@@ -321,6 +422,9 @@ mod tests {
         assert_eq!(s.bytes_read, 6_000_000);
         assert_eq!(s.useful_bytes, 0);
         assert_eq!(s.elements, 0);
+        // The footprint does not add up across launches over the same
+        // buffers: the combined report keeps the high-water mark.
+        assert_eq!(s.working_set, 2_500_000);
         // Barrier- and flag-wait rounds concatenate; stalls add up.
         assert_eq!(s.barrier_waits, vec![100, 50, 100, 50]);
         assert_eq!(s.flag_waits, vec![30, 0, 30, 0]);
@@ -340,6 +444,8 @@ mod tests {
             "\"time_us\":",
             "\"gbps\":",
             "\"traffic_gbps\":",
+            "\"l2_traffic_gbps\":",
+            "\"working_set\":",
             "\"gelems\":",
             "\"fraction_of_peak\":",
             "\"sync_rounds\":",

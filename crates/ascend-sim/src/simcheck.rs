@@ -540,6 +540,7 @@ mod tests {
             bytes_written: 256,
             useful_bytes: 768,
             elements: 128,
+            working_set: 768,
             engine_busy: [0; EngineKind::ALL.len()],
             engine_instructions: [0; EngineKind::ALL.len()],
             sync_rounds: 0,
@@ -582,6 +583,7 @@ mod tests {
             bytes_written: 0,
             useful_bytes: 0,
             elements: 0,
+            working_set: 0,
             engine_busy: [0; EngineKind::ALL.len()],
             engine_instructions: [0; EngineKind::ALL.len()],
             sync_rounds: 0,

@@ -13,6 +13,34 @@
 //! the same kernel replays byte-for-byte, and `launch()` can multiplex
 //! grids far larger than the chip (or the host) onto the physical cores.
 //!
+//! # Slot time-sharing (oversubscription)
+//!
+//! The scheduler models `phys` physical core slots ([`Scheduler::
+//! with_slots`]); block `b` runs on slot `b % phys`. A block *yields* its
+//! slot whenever it parks — at a barrier arrival or at its finish — and
+//! the slot's next tenant is *re-queued* from the time the slot frees:
+//! its start origin ([`Scheduler::begin`]) and its post-barrier resume
+//! time ([`Scheduler::sync`]'s third return value) are both lower-bounded
+//! by the slot's free time. Because blocks run in ascending index order
+//! within a round, the slot's previous tenant has always advanced to its
+//! next yield point before the successor reads the slot clock, so
+//! oversubscribed grids (`blocks > phys`) wave-multiplex deterministically
+//! — and, unlike the earlier model, they can still rendezvous at
+//! `SyncAll` barriers.
+//!
+//! # Grid flags (launch-wide mailboxes)
+//!
+//! [`Scheduler::grid_set`]/[`Scheduler::grid_consume`] expose a
+//! launch-wide analogue of the per-block [`FlagFile`]: counting
+//! semaphores keyed by a flag id, stamped with launch-unique tokens for
+//! the happens-before analyzer. They back the decoupled look-back
+//! protocol of single-pass chained scans (`ScanC`), where block `b`
+//! publishes its partial aggregate to a GM mailbox and block `b + 1`
+//! waits on `b`'s flag instead of a global barrier. Waiting on a flag
+//! nobody has published is rejected — under ascending-index scheduling a
+//! *backward* look-back always finds its predecessor's flag already set,
+//! while a forward wait would deadlock real silicon.
+//!
 //! # Barrier pricing
 //!
 //! `SyncAll` is built from priced cross-core flag instructions rather
@@ -160,6 +188,14 @@ struct SchedState {
     flag_waits: Vec<u64>,
     /// Kernel-end alignment time, once every block has finished.
     final_end: Option<EventTime>,
+    /// Cycle at which each physical core slot frees; block `b` occupies
+    /// slot `b % slot_free.len()` and updates it at every yield point.
+    slot_free: Vec<EventTime>,
+    /// Launch-wide mailbox flag registry (FIFO counting semaphores per
+    /// id), with a monotonic token stamping every set for the analyzer.
+    grid_slots: HashMap<u32, VecDeque<(EventTime, u64)>>,
+    grid_next_token: u64,
+    grid_limit: u32,
 }
 
 /// Deterministic cooperative scheduler for one kernel launch.
@@ -184,8 +220,23 @@ impl Scheduler {
     /// Creates a scheduler whose first segment starts at `seg_start`
     /// cycles with `bytes_mark` bytes of GM traffic already on the
     /// counters (needed when one [`GlobalMemory`] is reused across
-    /// kernel launches).
+    /// kernel launches). Every block gets its own slot (no
+    /// oversubscription) and the grid-flag id space is unbounded.
     pub fn with_origin(blocks: usize, seg_start: EventTime, bytes_mark: u64) -> Self {
+        Self::with_slots(blocks, blocks, seg_start, bytes_mark, u32::MAX)
+    }
+
+    /// Creates a scheduler multiplexing `blocks` blocks onto `phys`
+    /// physical core slots (block `b` on slot `b % phys`), with
+    /// `grid_flag_limit` usable launch-wide mailbox flag ids.
+    pub fn with_slots(
+        blocks: usize,
+        phys: usize,
+        seg_start: EventTime,
+        bytes_mark: u64,
+        grid_flag_limit: u32,
+    ) -> Self {
+        assert!(phys >= 1, "a launch needs at least one physical slot");
         Scheduler {
             state: Mutex::new(SchedState {
                 seg_start,
@@ -199,6 +250,10 @@ impl Scheduler {
                 round_waits: Vec::new(),
                 flag_waits: Vec::new(),
                 final_end: None,
+                slot_free: vec![seg_start; phys],
+                grid_slots: HashMap::new(),
+                grid_next_token: 0,
+                grid_limit: grid_flag_limit,
             }),
             cv: Condvar::new(),
         }
@@ -209,23 +264,32 @@ impl Scheduler {
     }
 
     /// Blocks until it is this block's turn to start executing. Must be
-    /// the first scheduler call a block thread makes.
-    pub fn begin(&self, block: usize) {
+    /// the first scheduler call a block thread makes. Returns the cycle
+    /// the block's physical core slot frees — the block's start origin
+    /// (the first segment's start for wave-0 blocks, the previous
+    /// tenant's yield point for later waves).
+    pub fn begin(&self, block: usize) -> EventTime {
         let mut st = self.lock();
         while st.turn != Some(block) {
             st = self.cv.wait(st).expect("Scheduler lock poisoned");
         }
         let round = st.round;
         st.status[block] = BlockState::Released(round);
+        st.slot_free[block % st.slot_free.len()]
     }
 
     /// Yields at a `SyncAll` barrier. `set_done` is the completion time
     /// of the block's last arrival (`CrossCoreSetFlag`) instruction;
     /// `ready` is when its slowest core finished the release-poll
     /// (`CrossCoreWaitFlag`) instruction that follows. Parks the calling
-    /// block and hands the baton on; returns `(all_set, resolved)` once
-    /// the round resolves — the cycle the last arrival flag landed
-    /// grid-wide, and the cycle all blocks resume.
+    /// block — vacating its physical core slot at `ready` — and hands
+    /// the baton on; returns `(all_set, resolved, resume)` once the
+    /// round resolves: the cycle the last arrival flag landed grid-wide,
+    /// the cycle the barrier releases, and the cycle *this block*
+    /// actually resumes — `resolved` when the block has its own slot,
+    /// later when an oversubscribed slot-mate runs its post-barrier
+    /// segment first (read at baton-regain time, after every lower-index
+    /// slot tenant has advanced to its next yield point).
     pub fn sync(
         &self,
         block: usize,
@@ -234,7 +298,7 @@ impl Scheduler {
         gm: &GlobalMemory,
         spec: &ChipSpec,
         release_cost: u64,
-    ) -> (EventTime, EventTime) {
+    ) -> (EventTime, EventTime, EventTime) {
         let mut st = self.lock();
         let my_round = st.round;
         st.status[block] = BlockState::AtBarrier {
@@ -242,14 +306,17 @@ impl Scheduler {
             set_done,
             ready,
         };
+        let slot = block % st.slot_free.len();
+        st.slot_free[slot] = st.slot_free[slot].max(ready);
         st.pending_cost = st.pending_cost.max(release_cost);
         self.advance(&mut st, gm, spec);
         self.cv.notify_all();
         loop {
             let resolved = st.round_result.get(my_round as usize).copied();
-            if let Some(result) = resolved {
+            if let Some((all_set, resolved)) = resolved {
                 if st.turn == Some(block) {
-                    return result;
+                    let resume = resolved.max(st.slot_free[slot]);
+                    return (all_set, resolved, resume);
                 }
             }
             st = self.cv.wait(st).expect("Scheduler lock poisoned");
@@ -269,6 +336,8 @@ impl Scheduler {
     ) -> EventTime {
         let mut st = self.lock();
         st.status[block] = BlockState::Finishing(local);
+        let slot = block % st.slot_free.len();
+        st.slot_free[slot] = st.slot_free[slot].max(local);
         self.advance(&mut st, gm, spec);
         self.cv.notify_all();
         loop {
@@ -408,6 +477,43 @@ impl Scheduler {
     pub fn flag_waits(&self) -> Vec<u64> {
         self.lock().flag_waits.clone()
     }
+
+    // ---------------------------------------------------------------
+    // Grid flags (launch-wide mailbox flags)
+    // ---------------------------------------------------------------
+
+    /// Publishes one launch-wide set event on grid flag `id` completing
+    /// at cycle `at`; returns the set's launch-unique token. Like the
+    /// per-block [`FlagFile`], grid flags are FIFO counting semaphores
+    /// per id, and ids `>= grid_flag_limit` are rejected.
+    pub fn grid_set(&self, id: u32, at: EventTime) -> SimResult<u64> {
+        let mut st = self.lock();
+        if id >= st.grid_limit {
+            return Err(SimError::FlagIdOutOfRange {
+                id,
+                limit: st.grid_limit,
+            });
+        }
+        let token = st.grid_next_token;
+        st.grid_next_token += 1;
+        st.grid_slots.entry(id).or_default().push_back((at, token));
+        Ok(token)
+    }
+
+    /// Consumes the earliest pending set on grid flag `id`, returning its
+    /// completion time and token — `None` when no set is pending. Calls
+    /// happen during a block's serialized turn, so consumption order (and
+    /// the token pairing the analyzer sees) is deterministic.
+    pub fn grid_consume(&self, id: u32) -> SimResult<Option<(EventTime, u64)>> {
+        let mut st = self.lock();
+        if id >= st.grid_limit {
+            return Err(SimError::FlagIdOutOfRange {
+                id,
+                limit: st.grid_limit,
+            });
+        }
+        Ok(st.grid_slots.get_mut(&id).and_then(VecDeque::pop_front))
+    }
 }
 
 #[cfg(test)]
@@ -445,9 +551,9 @@ mod tests {
                     let spec = spec.clone();
                     s.spawn(move || {
                         sched.begin(i);
-                        let r = sched.sync(i, c, c + w, &gm, &spec, cost);
-                        sched.finish(i, r.1, &gm, &spec);
-                        r
+                        let (all_set, resolved, _) = sched.sync(i, c, c + w, &gm, &spec, cost);
+                        sched.finish(i, resolved, &gm, &spec);
+                        (all_set, resolved)
                     })
                 })
                 .collect();
@@ -498,7 +604,7 @@ mod tests {
 
         let sched = Scheduler::new(1);
         sched.begin(0);
-        let (_, t) = sched.sync(0, 100, 100 + spec.flag_wait_cycles, &gm, &spec, 0);
+        let (_, t, _) = sched.sync(0, 100, 100 + spec.flag_wait_cycles, &gm, &spec, 0);
         let expect = spec.gm_bound_cycles(4 << 20, gm.high_water());
         assert_eq!(t, expect);
         assert!(t > 100);
@@ -514,11 +620,11 @@ mod tests {
         sched.begin(0);
 
         gm.device_write(region, 0, &buf).unwrap();
-        let (_, t1) = sched.sync(0, 0, 0, &gm, &spec, 0);
+        let (_, t1, _) = sched.sync(0, 0, 0, &gm, &spec, 0);
         // Second segment moves the same amount; the bound should advance
         // by the same delta, not double-count the first segment.
         gm.device_write(region, 2 << 20, &buf).unwrap();
-        let (_, t2) = sched.sync(0, t1, t1, &gm, &spec, 0);
+        let (_, t2, _) = sched.sync(0, t1, t1, &gm, &spec, 0);
         assert_eq!(t2 - t1, t1, "equal segments take equal time");
     }
 
@@ -531,7 +637,7 @@ mod tests {
         gm.device_write(region, 0, &buf).unwrap();
         let sched = Scheduler::new(1);
         sched.begin(0);
-        let (_, t) = sched.sync(0, 0, 0, &gm, &spec, 0);
+        let (_, t, _) = sched.sync(0, 0, 0, &gm, &spec, 0);
         // 512 KiB at 200 GB/s (L2) on 1 GHz.
         assert_eq!(t, ((512u64 << 10) as f64 / 200e9 * 1e9).ceil() as u64);
     }
@@ -545,10 +651,10 @@ mod tests {
         // ready = set + flag_wait_cycles: the release poll is busy time
         // on the core, so a lone block stalls on neither flags nor the
         // barrier when the release is free.
-        let (_, t1) = sched.sync(0, 100, 118, &gm, &spec, 0);
+        let (_, t1, _) = sched.sync(0, 100, 118, &gm, &spec, 0);
         assert_eq!(t1, 118, "single block still pays its own release poll");
         // Next round: the block pays 25 cycles of release cost.
-        let (_, t2) = sched.sync(0, t1, t1 + 18, &gm, &spec, 25);
+        let (_, t2, _) = sched.sync(0, t1, t1 + 18, &gm, &spec, 25);
         assert_eq!(t2, t1 + 18 + 25);
         sched.finish(0, t2, &gm, &spec);
         assert_eq!(sched.flag_waits(), vec![0, 0, 0]);
@@ -600,7 +706,7 @@ mod tests {
                 let spec = spec.clone();
                 s.spawn(move || {
                     sched.begin(1);
-                    let (_, r) = sched.sync(1, 200, 218, &gm, &spec, 10);
+                    let (_, r, _) = sched.sync(1, 200, 218, &gm, &spec, 10);
                     assert_eq!(r, 228, "resolved over block 1 alone");
                     sched.finish(1, r, &gm, &spec)
                 })
@@ -610,6 +716,127 @@ mod tests {
         assert_eq!(e0, 228);
         assert_eq!(e1, 228);
         assert_eq!(sched.rounds(), 2);
+    }
+
+    #[test]
+    fn oversubscribed_slots_chain_wave_origins() {
+        // 3 blocks on 1 physical slot, no barriers: each block's begin()
+        // origin is the previous tenant's finish time.
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        let sched = Arc::new(Scheduler::with_slots(3, 1, 100, 0, 8));
+        let origins: Vec<EventTime> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let sched = Arc::clone(&sched);
+                    let gm = Arc::clone(&gm);
+                    let spec = spec.clone();
+                    s.spawn(move || {
+                        let origin = sched.begin(i);
+                        // Each block "works" for 50 cycles on the slot.
+                        sched.finish(i, origin + 50, &gm, &spec);
+                        origin
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(origins, vec![100, 150, 200]);
+    }
+
+    #[test]
+    fn barrier_yield_requeues_the_slot() {
+        // 2 blocks share 1 slot and both cross one barrier: the slot-mate
+        // that resumes second is re-queued behind the first one's
+        // post-barrier segment, not released concurrently.
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        let sched = Arc::new(Scheduler::with_slots(2, 1, 0, 0, 8));
+        let (r0, r1) = std::thread::scope(|s| {
+            let a = {
+                let sched = Arc::clone(&sched);
+                let gm = Arc::clone(&gm);
+                let spec = spec.clone();
+                s.spawn(move || {
+                    let origin = sched.begin(0);
+                    assert_eq!(origin, 0);
+                    // Arrive at 60 (slot vacates), resume, then run a
+                    // 40-cycle post-barrier segment before finishing.
+                    let r = sched.sync(0, 50, 60, &gm, &spec, 0);
+                    sched.finish(0, r.2 + 40, &gm, &spec);
+                    r
+                })
+            };
+            let b = {
+                let sched = Arc::clone(&sched);
+                let gm = Arc::clone(&gm);
+                let spec = spec.clone();
+                s.spawn(move || {
+                    let origin = sched.begin(1);
+                    assert_eq!(origin, 60, "wave-1 begins when the slot frees");
+                    let r = sched.sync(1, 200, 210, &gm, &spec, 0);
+                    sched.finish(1, r.2, &gm, &spec);
+                    r
+                })
+            };
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        // Round resolves at the slowest arrival: all_set 200, ready 210.
+        assert_eq!((r0.0, r0.1), (200, 210));
+        assert_eq!((r1.0, r1.1), (200, 210));
+        // Block 0 has the slot first and resumes at the release; block 1
+        // is re-queued behind block 0's 40-cycle post-barrier segment.
+        assert_eq!(r0.2, 210);
+        assert_eq!(r1.2, 250);
+    }
+
+    #[test]
+    fn dedicated_slots_resume_at_the_release() {
+        // With one slot per block (the non-oversubscribed case) the
+        // resume time degenerates to the barrier release exactly.
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        let (_, results) = one_round(&spec, &gm, &[100, 5000, 250], 7);
+        let resolved = 5000 + spec.flag_wait_cycles + 7;
+        assert!(results.iter().all(|&r| r.1 == resolved));
+        // one_round's harness already asserts via the tuple; re-check
+        // the three-way return on a fresh single-block scheduler.
+        let sched = Scheduler::new(1);
+        sched.begin(0);
+        let (_, resolved, resume) = sched.sync(0, 10, 28, &gm, &spec, 5);
+        assert_eq!(resume, resolved);
+    }
+
+    #[test]
+    fn grid_flags_are_fifo_counting_semaphores() {
+        let sched = Scheduler::with_slots(2, 1, 0, 0, 4);
+        assert_eq!(sched.grid_consume(3).unwrap(), None);
+        let t0 = sched.grid_set(3, 100).unwrap();
+        let t1 = sched.grid_set(3, 140).unwrap();
+        assert_ne!(t0, t1, "every grid set gets a launch-unique token");
+        assert_eq!(sched.grid_consume(3).unwrap(), Some((100, t0)));
+        assert_eq!(sched.grid_consume(3).unwrap(), Some((140, t1)));
+        assert_eq!(sched.grid_consume(3).unwrap(), None);
+        // Tokens are unique across ids too (launch-wide pairing).
+        let t2 = sched.grid_set(0, 7).unwrap();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn grid_flags_enforce_the_id_space() {
+        let sched = Scheduler::with_slots(1, 1, 0, 0, 4);
+        let err = sched.grid_set(4, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FlagIdOutOfRange { id: 4, limit: 4 }
+        ));
+        let err = sched.grid_consume(9).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FlagIdOutOfRange { id: 9, limit: 4 }
+        ));
+        sched.grid_set(3, 1).unwrap();
+        assert!(sched.grid_consume(3).unwrap().is_some());
     }
 
     #[test]

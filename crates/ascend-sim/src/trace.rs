@@ -60,6 +60,21 @@ pub enum HbAction {
         /// Token of the consumed set.
         token: u64,
     },
+    /// `GridSetFlag`: published a launch-wide mailbox flag set with the
+    /// given token (the chained look-back protocol's publish step).
+    GridFlagSet {
+        /// The grid flag id.
+        id: u32,
+        /// The set's launch-unique token.
+        token: u64,
+    },
+    /// `GridWaitFlag`: consumed the launch-wide set with the given token.
+    GridFlagWait {
+        /// The grid flag id.
+        id: u32,
+        /// Token of the consumed set.
+        token: u64,
+    },
     /// The core participated in `SyncAll` barrier round `round`.
     Barrier {
         /// Zero-based barrier round within the launch.
@@ -197,6 +212,12 @@ pub fn hb_events_json(events: &[HbEvent]) -> String {
             }
             HbAction::FlagWait { id, token } => {
                 format!("\"action\":\"flagWait\",\"id\":{id},\"token\":{token}")
+            }
+            HbAction::GridFlagSet { id, token } => {
+                format!("\"action\":\"gridFlagSet\",\"id\":{id},\"token\":{token}")
+            }
+            HbAction::GridFlagWait { id, token } => {
+                format!("\"action\":\"gridFlagWait\",\"id\":{id},\"token\":{token}")
             }
             HbAction::Barrier { round } => format!("\"action\":\"barrier\",\"round\":{round}"),
             HbAction::QueueCreate { queue } => {
@@ -397,6 +418,14 @@ fn parse_hb_object(
             token: num("token")?,
         },
         "flagWait" => HbAction::FlagWait {
+            id: num32("id")?,
+            token: num("token")?,
+        },
+        "gridFlagSet" => HbAction::GridFlagSet {
+            id: num32("id")?,
+            token: num("token")?,
+        },
+        "gridFlagWait" => HbAction::GridFlagWait {
             id: num32("id")?,
             token: num("token")?,
         },
@@ -698,6 +727,12 @@ mod tests {
                 3,
                 "CrossCoreWaitFlag",
                 HbAction::FlagWait { id: 3, token: 41 },
+            ),
+            mk(4, "GridSetFlag", HbAction::GridFlagSet { id: 5, token: 77 }),
+            mk(
+                5,
+                "GridWaitFlag",
+                HbAction::GridFlagWait { id: 5, token: 77 },
             ),
             mk(4, "SyncAll", HbAction::Barrier { round: 2 }),
             mk(5, "qa(L0A)", HbAction::QueueCreate { queue: 7 }),

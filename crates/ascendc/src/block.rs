@@ -13,12 +13,14 @@
 //! seed-independent order (ascending block index within each barrier
 //! round), so two launches of the same kernel produce byte-identical
 //! reports regardless of host load or core count. Grids larger than the
-//! chip (`block_dim > spec.ai_cores`) are *oversubscribed*: blocks run
-//! sequentially in waves, block `i` starting where block `i − ai_cores`
-//! left its physical core slot. Oversubscribed kernels cannot call
-//! [`BlockCtx::sync_all`] — real hardware has no barrier across blocks
-//! that time-share a core (the API caps `blockDim` at the core count for
-//! exactly this reason), so the simulator rejects it too.
+//! chip (`block_dim > spec.ai_cores`) are *oversubscribed*: block `b`
+//! time-shares physical core slot `b % spec.ai_cores`, starting where
+//! the slot's previous tenant yielded it. A block yields its slot at
+//! every barrier arrival and at its finish, so oversubscribed kernels
+//! can still call [`BlockCtx::sync_all`]: the arriving block parks and
+//! vacates the slot, the slot's later tenants run, and the block resumes
+//! at the later of the barrier release and its slot freeing again — the
+//! scheduler's yield/re-queue protocol (see [`ascend_sim::sync`]).
 //!
 //! # Barrier pricing
 //!
@@ -29,7 +31,10 @@
 //! release — segment bandwidth bound plus `sync_all_cycles` — completes
 //! (`wait:barrier`). Kernels can also use raw flag pairs directly via
 //! [`Core::set_flag`]/[`Core::wait_flag`] and the block's
-//! [`FlagFile`](BlockCtx::flags).
+//! [`FlagFile`](BlockCtx::flags), or hand off *between* blocks with the
+//! launch-wide grid flags ([`Core::set_grid_flag`]/
+//! [`Core::wait_grid_flag`] against [`BlockCtx::grid`]) — the mailbox
+//! protocol of chained look-back scans.
 //!
 //! # Failure semantics
 //!
@@ -67,8 +72,7 @@ pub struct BlockCtx<'a> {
     pub flags: FlagFile,
     spec: &'a ChipSpec,
     gm: &'a GlobalMemory,
-    /// `None` when the launch is oversubscribed (no rendezvous possible).
-    sync: Option<&'a Scheduler>,
+    sync: &'a Scheduler,
     /// Block-level phase spans (depth 1; kernel root is depth 0).
     spans: SpanRecorder,
     /// Number of completed [`BlockCtx::sync_all`] rounds; stamps each
@@ -95,6 +99,13 @@ impl<'a> BlockCtx<'a> {
             .unwrap_or(0)
     }
 
+    /// The launch-wide [`Scheduler`], home of the grid-flag mailbox
+    /// registry used by chained look-back kernels — pass it to
+    /// [`Core::set_grid_flag`]/[`Core::wait_grid_flag`].
+    pub fn grid(&self) -> &'a Scheduler {
+        self.sync
+    }
+
     /// `SyncAll`: global barrier across all blocks. Every core pays a
     /// `CrossCoreSetFlag` (arrival) and `CrossCoreWaitFlag` (release
     /// poll) on its scalar pipe, stalls on the last arrival flag
@@ -102,17 +113,13 @@ impl<'a> BlockCtx<'a> {
     /// memory-bandwidth bound plus `sync_all_cycles` (`wait:barrier`).
     /// Returns the resumption time.
     ///
-    /// Errors with [`SimError::InvalidArgument`] on an oversubscribed
-    /// launch (`block_dim > spec.ai_cores`): blocks that time-share a
-    /// physical core cannot rendezvous.
+    /// On an oversubscribed launch (`block_dim > spec.ai_cores`) the
+    /// block additionally waits for its physical core slot: it resumes
+    /// at the later of the barrier release and the slot freeing —
+    /// slot-mates run their post-barrier segments in ascending block
+    /// order, with the extra idle attributed as `wait:barrier`.
     pub fn sync_all(&mut self) -> SimResult<EventTime> {
-        let Some(sched) = self.sync else {
-            return Err(SimError::InvalidArgument(format!(
-                "SyncAll with block_dim {} > {} AI cores: oversubscribed blocks \
-                 time-share physical cores and cannot rendezvous",
-                self.block_dim, self.spec.ai_cores
-            )));
-        };
+        let sched = self.sync;
         let span = self.spans.begin("SyncAll", self.local_now());
         let w = self.spec.flag_wait_cycles;
         let mut set_done: EventTime = 0;
@@ -131,7 +138,7 @@ impl<'a> BlockCtx<'a> {
             set_done = set_done.max(arrive);
             ready = ready.max(polled);
         }
-        let (all_set, resolved) = sched.sync(
+        let (all_set, _resolved, resume) = sched.sync(
             self.block_idx as usize,
             set_done,
             ready,
@@ -140,20 +147,20 @@ impl<'a> BlockCtx<'a> {
             self.spec.sync_all_cycles,
         );
         // Until the grid-wide last arrival flag is observable the cores
-        // are flag-blocked; from there to the release they are
-        // barrier-blocked.
-        let flag_edge = (all_set + w).min(resolved);
+        // are flag-blocked; from there to the release (plus, when
+        // oversubscribed, the slot re-queue) they are barrier-blocked.
+        let flag_edge = (all_set + w).min(resume);
         let round = self.sync_round;
         for core in std::iter::once(&mut self.cube).chain(self.vecs.iter_mut()) {
             core.timeline_mut()
                 .align_to_cause(flag_edge, StallCause::Flag);
-            core.timeline_mut().align_to(resolved);
+            core.timeline_mut().align_to(resume);
             core.hb_recorder()
-                .record(resolved, "SyncAll", HbAction::Barrier { round });
+                .record(resume, "SyncAll", HbAction::Barrier { round });
         }
         self.sync_round += 1;
-        self.spans.end(span, resolved);
-        Ok(resolved)
+        self.spans.end(span, resume);
+        Ok(resume)
     }
 
     // ---------------------------------------------------------------
@@ -251,9 +258,11 @@ where
     F: Fn(&mut BlockCtx<'_>) -> SimResult<()> + Sync,
 {
     if block_dim == 0 {
-        return Err(SimError::InvalidArgument(
-            "block_dim must be at least 1".into(),
-        ));
+        return Err(SimError::InvalidArgument(format!(
+            "launch {name:?} with block_dim 0: a kernel needs at least one block \
+             (the chip has {} AI cores; larger grids wave-multiplex)",
+            spec.ai_cores
+        )));
     }
     let read_at_start = gm.bytes_read();
     let written_at_start = gm.bytes_written();
@@ -265,15 +274,13 @@ where
     let profiled = trace || collector;
     let recording = profiled || spec.validation.audits();
 
-    // Runs one block at `origin` cycles and harvests its timelines.
-    // Under a scheduler the block first waits for its turn and ends at
-    // the common kernel-end alignment; without one (oversubscribed) it
-    // runs to its own local end.
+    // Runs one block and harvests its timelines. The block first waits
+    // for its turn (begin() also yields its start origin — the launch
+    // start, or the slot's previous tenant's yield point when
+    // oversubscribed) and ends at the common kernel-end alignment.
     let run_block =
-        |block_idx: u32, origin: EventTime, sched: Option<&Scheduler>| {
-            if let Some(s) = sched {
-                s.begin(block_idx as usize);
-            }
+        |block_idx: u32, sched: &Scheduler| {
+            let origin = sched.begin(block_idx as usize);
             let mut ctx = BlockCtx {
                 block_idx,
                 block_dim,
@@ -304,24 +311,16 @@ where
                 }
             }
             let error = kernel(&mut ctx).err();
-            let end = match sched {
-                Some(s) => {
-                    // Join the kernel-end alignment so sibling blocks
-                    // terminate; see module docs for failure semantics. The
-                    // tail wait is attributed as barrier time so the
-                    // per-engine stall partition (busy + dependency +
-                    // barrier + flag = elapsed) closes exactly.
-                    let end = s.finish(block_idx as usize, ctx.local_now(), gm, spec);
-                    ctx.cube.wait(end);
-                    for v in &mut ctx.vecs {
-                        v.wait(end);
-                    }
-                    end
-                }
-                // Oversubscribed blocks vacate their slot at their own local
-                // end; the next wave's tenant starts there.
-                None => ctx.local_now(),
-            };
+            // Join the kernel-end alignment so sibling blocks terminate;
+            // see module docs for failure semantics. The tail wait is
+            // attributed as barrier time so the per-engine stall
+            // partition (busy + dependency + barrier + flag = elapsed)
+            // closes exactly on non-oversubscribed launches.
+            let end = sched.finish(block_idx as usize, ctx.local_now(), gm, spec);
+            ctx.cube.wait(end);
+            for v in &mut ctx.vecs {
+                v.wait(end);
+            }
             let mut busy = [0u64; EngineKind::ALL.len()];
             let mut instructions = [0u64; EngineKind::ALL.len()];
             let mut stalls = StallTally::default();
@@ -380,59 +379,36 @@ where
             }
         };
 
-    let (outcomes, sync_rounds, barrier_waits, flag_waits, cycles) = if oversubscribed {
-        // Wave multiplexing: block i runs on physical slot i % ai_cores,
-        // starting where the slot's previous tenant ended. Purely
-        // sequential in block index — trivially deterministic.
-        let phys = spec.ai_cores as usize;
-        let mut slot_free = vec![spec.launch_cycles; phys];
-        let mut outcomes = Vec::with_capacity(block_dim as usize);
-        for block_idx in 0..block_dim {
-            let slot = block_idx as usize % phys;
-            let o = run_block(block_idx, slot_free[slot], None);
-            slot_free[slot] = o.end;
-            outcomes.push(o);
-        }
-        // The launch still cannot outrun the memory system: stretch the
-        // end to the whole grid's bandwidth bound.
-        let seg_bytes =
-            (gm.bytes_read() + gm.bytes_written()).saturating_sub(read_at_start + written_at_start);
-        let bw_bound = spec.launch_cycles + spec.gm_bound_cycles(seg_bytes, gm.high_water());
-        let cycles = outcomes
-            .iter()
-            .map(|o| o.end)
-            .max()
-            .unwrap_or(0)
-            .max(bw_bound);
-        (outcomes, 0, vec![0], vec![0], cycles)
-    } else {
-        let sync = Scheduler::with_origin(
-            block_dim as usize,
-            spec.launch_cycles,
-            read_at_start + written_at_start,
-        );
-        let outcomes: Vec<BlockOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..block_dim)
-                .map(|block_idx| {
-                    let sync = &sync;
-                    let run_block = &run_block;
-                    scope.spawn(move || run_block(block_idx, spec.launch_cycles, Some(sync)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("block thread panicked"))
-                .collect()
-        });
-        let cycles = outcomes.iter().map(|o| o.end).max().unwrap_or(0);
-        (
-            outcomes,
-            sync.rounds().saturating_sub(1),
-            sync.round_waits(),
-            sync.flag_waits(),
-            cycles,
-        )
-    };
+    // One scheduler drives every launch shape: dedicated slots when the
+    // grid fits the chip, slot time-sharing (yield/re-queue) when it is
+    // oversubscribed. The kernel-end alignment inside `finish` already
+    // stretches the end to the grid's bandwidth bound.
+    let sync = Scheduler::with_slots(
+        block_dim as usize,
+        block_dim.min(spec.ai_cores) as usize,
+        spec.launch_cycles,
+        read_at_start + written_at_start,
+        spec.flag_id_limit,
+    );
+    let outcomes: Vec<BlockOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..block_dim)
+            .map(|block_idx| {
+                let sync = &sync;
+                let run_block = &run_block;
+                scope.spawn(move || run_block(block_idx, sync))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("block thread panicked"))
+            .collect()
+    });
+    let cycles = outcomes.iter().map(|o| o.end).max().unwrap_or(0);
+    let (sync_rounds, barrier_waits, flag_waits) = (
+        sync.rounds().saturating_sub(1),
+        sync.round_waits(),
+        sync.flag_waits(),
+    );
 
     if let Some(err) = outcomes.iter().find_map(|o| o.error.clone()) {
         return Err(err);
@@ -469,6 +445,7 @@ where
         bytes_written: gm.bytes_written() - written_at_start,
         useful_bytes: 0,
         elements: 0,
+        working_set: gm.high_water() as u64,
         engine_busy: busy,
         engine_instructions: instructions,
         sync_rounds,
@@ -829,15 +806,97 @@ mod tests {
     }
 
     #[test]
-    fn sync_all_rejected_when_oversubscribed() {
+    fn sync_all_rendezvous_when_oversubscribed() {
+        // Blocks beyond the chip's core count time-share slots via the
+        // scheduler's yield/re-queue path — and can still cross a
+        // SyncAll. Each block publishes its index before the barrier and
+        // reads its successor's value after it, so the barrier carries a
+        // real cross-block (and cross-wave) data dependency.
         let (spec, gm) = setup();
-        let err = launch(&spec, &gm, spec.ai_cores + 1, "oversync", |ctx| {
+        let blocks = spec.ai_cores + 1;
+        let stage = GlobalTensor::<i32>::new(&gm, blocks as usize).unwrap();
+        let out = GlobalTensor::<i32>::new(&gm, blocks as usize).unwrap();
+        let report = launch(&spec, &gm, blocks, "oversync", |ctx| {
+            let idx = ctx.block_idx as usize;
+            let peer = (idx + 1) % ctx.block_dim as usize;
+            {
+                let v = &mut ctx.vecs[0];
+                let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, 8)?;
+                v.fill_local(&mut buf, 0, 8, ctx.block_idx as i32)?;
+                v.copy_out(&stage, idx, &buf, 0, 1, &[])?;
+                v.free_local(buf)?;
+            }
             ctx.sync_all()?;
+            let v = &mut ctx.vecs[0];
+            let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, 8)?;
+            v.copy_in(&mut buf, 0, &stage, peer, 1, &[])?;
+            v.copy_out(&out, idx, &buf, 0, 1, &[])?;
+            v.free_local(buf)?;
             Ok(())
+        })
+        .unwrap();
+        let expect: Vec<i32> = (0..blocks as i32)
+            .map(|b| (b + 1) % blocks as i32)
+            .collect();
+        assert_eq!(out.to_vec(), expect);
+        assert_eq!(report.sync_rounds, 1);
+        assert!(blocks > spec.ai_cores);
+    }
+
+    #[test]
+    fn grid_flags_chain_blocks_without_a_barrier() {
+        // A miniature chained look-back: block b waits on b-1's grid
+        // flag, reads b-1's mailbox, adds its own contribution, writes
+        // its mailbox, and publishes its flag — a running sum across the
+        // grid with no SyncAll, spanning waves (3 blocks on 2 cores).
+        let (spec, gm) = setup();
+        let blocks = spec.ai_cores + 1;
+        let mailbox = GlobalTensor::<i32>::new(&gm, blocks as usize).unwrap();
+        launch(&spec, &gm, blocks, "lookback", |ctx| {
+            let idx = ctx.block_idx as usize;
+            let grid = ctx.grid();
+            let limit = ctx.spec().flag_id_limit;
+            let v = &mut ctx.vecs[0];
+            let mut buf = v.alloc_local::<i32>(ScratchpadKind::Ub, 8)?;
+            let prev = if idx > 0 {
+                let seen = v.wait_grid_flag(grid, (idx as u32 - 1) % limit)?;
+                v.copy_in(&mut buf, 0, &mailbox, idx - 1, 1, &[seen])?;
+                let (prev, _at) = v.extract(&buf, 0)?;
+                prev
+            } else {
+                0
+            };
+            v.fill_local(&mut buf, 0, 8, prev + ctx.block_idx as i32 + 1)?;
+            let stored = v.copy_out(&mailbox, idx, &buf, 0, 1, &[])?;
+            if idx + 1 < ctx.block_dim as usize {
+                v.set_grid_flag(grid, idx as u32 % limit, &[stored])?;
+            }
+            v.free_local(buf)?;
+            Ok(())
+        })
+        .unwrap();
+        // Inclusive prefix sums of 1..=blocks.
+        let expect: Vec<i32> = (1..=blocks as i32)
+            .scan(0, |s, b| {
+                *s += b;
+                Some(*s)
+            })
+            .collect();
+        assert_eq!(mailbox.to_vec(), expect);
+    }
+
+    #[test]
+    fn forward_grid_flag_wait_is_rejected() {
+        // Waiting on a grid flag nobody published models a deadlock:
+        // under ascending-index waves the set could never arrive.
+        let (spec, gm) = setup();
+        let err = launch(&spec, &gm, 2, "forward-wait", |ctx| {
+            let grid = ctx.grid();
+            ctx.vecs[0].wait_grid_flag(grid, 3).map(|_| ())
         })
         .unwrap_err();
         assert!(matches!(err, SimError::InvalidArgument(_)));
-        assert!(err.to_string().contains("rendezvous"));
+        assert!(err.to_string().contains("unset grid flag"));
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::tensor::{GlobalTensor, LocalTensor};
 use ascend_sim::chip::ScratchpadKind;
 use ascend_sim::{
     ChipSpec, CoreKind, CoreTimeline, CounterEvent, EngineKind, EventTime, FlagFile, HbAction,
-    HbEvent, HbRecorder, ScratchTracker, SimError, SimResult, SpanArgs, SpanId, SpanRecorder,
-    StallCause, TraceSpan,
+    HbEvent, HbRecorder, Scheduler, ScratchTracker, SimError, SimResult, SpanArgs, SpanId,
+    SpanRecorder, StallCause, TraceSpan,
 };
 use dtypes::{CubeInput, Element, Numeric};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -809,6 +809,66 @@ impl<'a> Core<'a> {
             .align_to_cause(set_at + self.spec.flag_wait_cycles, StallCause::Flag);
         let now = self.timeline.now();
         self.hb_record(now, "CrossCoreWaitFlag", HbAction::FlagWait { id, token });
+        Ok(now)
+    }
+
+    // ---------------------------------------------------------------
+    // Grid flags (launch-wide mailboxes)
+    // ---------------------------------------------------------------
+
+    /// Publishes launch-wide grid flag `id` on the [`Scheduler`]'s grid
+    /// registry once `after` (plus the core's pending scalar work)
+    /// retires. Same price as [`Core::set_flag`]
+    /// ([`flag_set_cycles`](ChipSpec::flag_set_cycles) on the scalar
+    /// pipe) — on silicon both are a pipe drain followed by a GM/mesh
+    /// store the sibling can observe. Unlike per-block flags, grid
+    /// flags are visible to *every* block in the launch: they guard
+    /// the per-block GM mailboxes of chained look-back scans. Each id
+    /// is a FIFO counting semaphore within the same
+    /// [`flag_id_limit`](ChipSpec::flag_id_limit) id space. Returns
+    /// the cycle at which the flag becomes observable.
+    pub fn set_grid_flag(
+        &mut self,
+        sched: &Scheduler,
+        id: u32,
+        after: &[EventTime],
+    ) -> SimResult<EventTime> {
+        let done = self
+            .timeline
+            .exec(EngineKind::FLAG_ENGINE, self.spec.flag_set_cycles, after)?;
+        let token = sched.grid_set(id, done)?;
+        self.hb_record(done, "GridSetFlag", HbAction::GridFlagSet { id, token });
+        Ok(done)
+    }
+
+    /// Blocks this core until the oldest pending set on grid flag `id`
+    /// is observable (FIFO; each wait consumes one set). Propagation
+    /// and occupancy match [`Core::wait_flag`]: the set becomes
+    /// visible [`flag_wait_cycles`](ChipSpec::flag_wait_cycles) after
+    /// publication, the wait occupies one scalar slot, and any idle
+    /// gap is attributed to `wait:flag`. Returns the core's
+    /// resumption time.
+    ///
+    /// Waiting on a grid flag with no pending set is an error: blocks
+    /// run in ascending-index waves, so only *backward* look-back
+    /// (waiting on a flag a lower-indexed block already published) is
+    /// supported — a forward wait could never be satisfied and models
+    /// a hardware deadlock.
+    pub fn wait_grid_flag(&mut self, sched: &Scheduler, id: u32) -> SimResult<EventTime> {
+        let Some((set_at, token)) = sched.grid_consume(id)? else {
+            return Err(SimError::InvalidArgument(format!(
+                "GridWaitFlag on unset grid flag {id}: blocks execute in \
+                 ascending-index waves, so only backward look-back (on a flag \
+                 a lower-indexed block has already published) can ever be \
+                 satisfied — this wait would deadlock on hardware"
+            )));
+        };
+        self.timeline
+            .exec(EngineKind::FLAG_ENGINE, self.spec.flag_set_cycles, &[])?;
+        self.timeline
+            .align_to_cause(set_at + self.spec.flag_wait_cycles, StallCause::Flag);
+        let now = self.timeline.now();
+        self.hb_record(now, "GridWaitFlag", HbAction::GridFlagWait { id, token });
         Ok(now)
     }
 }

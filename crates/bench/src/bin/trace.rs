@@ -2,7 +2,7 @@
 //! kernels' simulated schedules.
 //!
 //! ```text
-//! trace [scanu|scanul1|mcscan|cumsum|batched|all] [N] [out.json]
+//! trace [scanu|scanul1|mcscan|scanc|cumsum|batched|all] [N] [out.json]
 //! ```
 //!
 //! The kernels run through their normal public entry points under
@@ -22,9 +22,10 @@ use ascendc::GlobalTensor;
 use bench::fresh_gm;
 use dtypes::F16;
 use scan::mcscan::{mcscan, McScanConfig};
+use scan::scanc::{scanc, ScanCConfig};
 use scan::{batched_scanu, cumsum_vec_only, scanu, scanul1};
 
-const KERNELS: &[&str] = &["scanu", "scanul1", "mcscan", "cumsum", "batched"];
+const KERNELS: &[&str] = &["scanu", "scanul1", "mcscan", "scanc", "cumsum", "batched"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +79,9 @@ fn run_kernel(spec: &ChipSpec, kernel: &str, n: usize) {
         "mcscan" => {
             drop(mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec)).unwrap())
         }
+        "scanc" => drop(
+            scanc::<F16, F16, F16>(spec, &gm, &x, ScanCConfig::for_chip::<F16, F16>(spec)).unwrap(),
+        ),
         "cumsum" => drop(cumsum_vec_only::<F16>(spec, &gm, &x, 128, 1).unwrap()),
         "batched" => {
             // Spread a fixed batch over the cores; pad N up to a multiple.

@@ -5,7 +5,7 @@
 #![forbid(unsafe_code)]
 
 use ascend_sim::mem::GlobalMemory;
-use ascend_sim::{ChipSpec, KernelReport};
+use ascend_sim::{ChipSpec, EngineKind, KernelReport};
 use ascendc::{GlobalTensor, SimResult};
 use dtypes::F16;
 use std::sync::Arc;
@@ -412,6 +412,149 @@ impl JsonChecker<'_> {
     }
 }
 
+/// Semantic sanity bounds for a `bench-scan/v3` document on top of the
+/// syntactic [`validate_json`] check. Every kernel entry must satisfy:
+///
+/// * `fraction_of_peak` and every per-engine `utilization` in `[0, 1]`;
+/// * `traffic_gbps` (DRAM-attributed) at most the chip's HBM peak;
+/// * per engine, the idle-stall sum (`stall_dependency + stall_barrier +
+///   stall_flag`) at most `cores × (cycles − launch_cycles)` — no core
+///   can idle longer than it exists (`stall_contention` overlaps busy
+///   time and is exempt).
+///
+/// These are exactly the invariants that historically broke silently:
+/// runaway contention watermarks and over-peak traffic attribution.
+pub fn validate_bench_json(doc: &str, spec: &ChipSpec) -> Result<(), String> {
+    validate_json(doc)?;
+    if !doc.contains("\"schema\":\"bench-scan/v3\"") {
+        return Err("document does not declare schema bench-scan/v3".into());
+    }
+    let eps = 1e-6;
+    let hbm_gbps = spec.hbm_bytes_per_sec / 1e9;
+    for k in json_kernel_objects(doc)? {
+        let name = json_str_field(k, "name").unwrap_or("<unnamed>");
+        let ctx = |msg: String| format!("kernel {name}: {msg}");
+        let frac = json_num_field(k, "fraction_of_peak").map_err(&ctx)?;
+        if !(-eps..=1.0 + eps).contains(&frac) {
+            return Err(ctx(format!("fraction_of_peak {frac} outside [0, 1]")));
+        }
+        let traffic = json_num_field(k, "traffic_gbps").map_err(&ctx)?;
+        if traffic > hbm_gbps + eps {
+            return Err(ctx(format!(
+                "traffic_gbps {traffic} exceeds the HBM peak {hbm_gbps}"
+            )));
+        }
+        let cycles = json_num_field(k, "cycles").map_err(&ctx)?;
+        let blocks = json_num_field(k, "blocks").map_err(&ctx)? as u32;
+        let lifetime = (cycles - spec.launch_cycles as f64).max(0.0);
+        for e in EngineKind::ALL {
+            let Some(eobj) = json_sub_object(k, e.name()) else {
+                continue;
+            };
+            let util = json_num_field(eobj, "utilization").map_err(&ctx)?;
+            if !(-eps..=1.0 + eps).contains(&util) {
+                return Err(ctx(format!(
+                    "{} utilization {util} outside [0, 1]",
+                    e.name()
+                )));
+            }
+            let idle = json_num_field(eobj, "stall_dependency").map_err(&ctx)?
+                + json_num_field(eobj, "stall_barrier").map_err(&ctx)?
+                + json_num_field(eobj, "stall_flag").map_err(&ctx)?;
+            let cores = spec.cores_with_engine(blocks, e) as f64;
+            if idle > cores * lifetime + eps {
+                return Err(ctx(format!(
+                    "{} idle stalls {idle} exceed cores×(cycles−launch) = {}",
+                    e.name(),
+                    cores * lifetime
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Splits the `"kernels":[...]` array of a bench document into its
+/// top-level objects (brace matching; the document is already known to
+/// be well-formed JSON with no strings containing braces we generate).
+fn json_kernel_objects(doc: &str) -> Result<Vec<&str>, String> {
+    let start = doc
+        .find("\"kernels\":[")
+        .ok_or("document has no kernels array")?
+        + "\"kernels\":[".len();
+    let body = &doc[start..];
+    let mut objs = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    obj_start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or("unbalanced braces in kernels array")?;
+                if depth == 0 {
+                    objs.push(&body[obj_start..=i]);
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    Ok(objs)
+}
+
+/// Extracts the brace-matched object following `"key":{` inside `obj`.
+fn json_sub_object<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":{{");
+    let start = obj.find(&pat)? + pat.len() - 1;
+    let body = &obj[start..];
+    let mut depth = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reads the numeric value of `"key":<number>` inside `obj` (first
+/// occurrence; bench-document keys are unique at their nesting level).
+fn json_num_field(obj: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\":");
+    let start = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key}"))?
+        + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("field {key}: {e}"))
+}
+
+/// Reads the string value of `"key":"..."` inside `obj`.
+fn json_str_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')?;
+    Some(&obj[start..start + end])
+}
+
 /// The PyTorch-baseline top-p pipeline the paper's Fig. 13 measures:
 /// `torch.sort` + `torch.cumsum` + threshold + `torch.multinomial`,
 /// composed from the modeled baseline operators.
@@ -535,6 +678,71 @@ mod tests {
         let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
         let (_, report) = ops::baselines::cumsum::<F16>(&spec, &gm, &t).unwrap();
         validate_json(&report.to_json(&spec)).expect("KernelReport::to_json is valid JSON");
+    }
+
+    fn bench_doc(spec: &ChipSpec, kernel_json: &str) -> String {
+        format!(
+            "{{\"schema\":\"bench-scan/v3\",\"chip\":{{\"name\":\"{}\"}},\
+             \"kernels\":[{}],\"traffic\":[]}}",
+            spec.name, kernel_json
+        )
+    }
+
+    #[test]
+    fn validate_bench_json_accepts_a_real_launch_report() {
+        let spec = ChipSpec::tiny();
+        let gm = fresh_gm(&spec);
+        let probs = synth_probs(300, 11);
+        let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
+        let (_, report) = ops::baselines::cumsum::<F16>(&spec, &gm, &t).unwrap();
+        let doc = bench_doc(&spec, &report.to_json(&spec));
+        validate_bench_json(&doc, &spec).expect("real report passes the sanity bounds");
+    }
+
+    #[test]
+    fn validate_bench_json_rejects_wrong_schema() {
+        let spec = ChipSpec::tiny();
+        let doc = "{\"schema\":\"bench-scan/v2\",\"kernels\":[]}";
+        assert!(validate_bench_json(doc, &spec)
+            .unwrap_err()
+            .contains("bench-scan/v3"));
+    }
+
+    #[test]
+    fn validate_bench_json_rejects_out_of_range_metrics() {
+        let spec = ChipSpec::tiny();
+        let gm = fresh_gm(&spec);
+        let probs = synth_probs(300, 11);
+        let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
+        let (_, report) = ops::baselines::cumsum::<F16>(&spec, &gm, &t).unwrap();
+        let good = report.to_json(&spec);
+
+        // fraction_of_peak above 1.
+        let frac = json_num_field(&good, "fraction_of_peak").unwrap();
+        let bad = good.replace(
+            &format!("\"fraction_of_peak\":{frac:.6}"),
+            "\"fraction_of_peak\":1.5",
+        );
+        assert_ne!(bad, good, "replacement must hit");
+        let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
+        assert!(err.contains("fraction_of_peak"), "{err}");
+
+        // DRAM traffic above the chip peak.
+        let traffic = json_num_field(&good, "traffic_gbps").unwrap();
+        let over = spec.hbm_bytes_per_sec / 1e9 + 10.0;
+        let bad = good.replace(
+            &format!("\"traffic_gbps\":{traffic:.6}"),
+            &format!("\"traffic_gbps\":{over:.6}"),
+        );
+        assert_ne!(bad, good, "replacement must hit");
+        let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
+        assert!(err.contains("HBM peak"), "{err}");
+
+        // Idle stalls beyond any core's lifetime.
+        let bad = good.replace("\"stall_flag\":0", "\"stall_flag\":99999999999");
+        assert_ne!(bad, good, "replacement must hit");
+        let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
+        assert!(err.contains("idle stalls"), "{err}");
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use ascend_sim::{ChipSpec, KernelReport, SimError, SimResult};
 pub use ascendc::GlobalTensor;
 pub use dtypes::{Element, F16};
 pub use scan::mcscan::{McScanConfig, ScanKind};
+pub use scan::scanc::ScanCConfig;
 pub use scan::ScanRun;
 
 use ascend_sim::mem::GlobalMemory;

@@ -165,6 +165,7 @@ pub fn build_alias_table(
         bytes_written: (n * 8) as u64,
         useful_bytes: 0,
         elements: 0,
+        working_set: (n * 16) as u64,
         engine_busy: [0; 7],
         engine_instructions: [0; 7],
         sync_rounds: 0,

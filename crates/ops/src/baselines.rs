@@ -65,6 +65,8 @@ fn modeled_report(
         bytes_written,
         useful_bytes: 0,
         elements: 0,
+        // An opaque op streams its I/O once: footprint == traffic.
+        working_set: bytes_read + bytes_written,
         engine_busy: [0; 7],
         engine_instructions: [0; 7],
         sync_rounds: 0,

@@ -124,6 +124,7 @@ fn empty_report(spec: &ChipSpec) -> KernelReport {
         bytes_written: 0,
         useful_bytes: 0,
         elements: 0,
+        working_set: 0,
         engine_busy: [0; 7],
         engine_instructions: [0; 7],
         sync_rounds: 0,

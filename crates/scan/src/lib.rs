@@ -18,6 +18,13 @@
 //!   recompute block reductions from the input; after a global barrier,
 //!   phase 2 scans the block reductions in each vector core's UB and
 //!   propagates. Supports inclusive/exclusive scans, fp16 and int8.
+//! * [`scanc::scanc`] — **ScanC**: a single-pass chained scan with
+//!   decoupled look-back. No barrier and no recomputation read: each
+//!   lane keeps its tile-local scans resident in UB, publishes its
+//!   inclusive prefix to a per-lane global-memory mailbox guarded by a
+//!   launch-wide grid flag, and its successor looks back instead of
+//!   waiting at a `SyncAll`. Moves ~2·N element accesses less than
+//!   MCScan at the cost of a serial per-lane flag chain.
 //! * [`batched`] — batched variants of ScanU and ScanUL1 for
 //!   multi-dimensional inputs.
 //! * [`baseline::cumsum_vec_only`] — the vector-only `CumSum` kernel
@@ -34,6 +41,7 @@ pub mod batched;
 pub mod mcscan;
 pub mod reduce;
 pub mod reference;
+pub mod scanc;
 pub mod scanu;
 pub mod scanul1;
 pub mod triangular;
@@ -44,6 +52,7 @@ pub use baseline::cumsum_vec_only;
 pub use batched::{batched_scanu, batched_scanul1};
 pub use mcscan::{mcscan, McScanConfig, ScanKind};
 pub use reduce::{reduce_cube, reduce_vec, ReduceRun};
+pub use scanc::{scanc, ScanCConfig};
 pub use scanu::scanu;
 pub use scanul1::scanul1;
 

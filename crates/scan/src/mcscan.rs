@@ -98,10 +98,11 @@ where
             cfg.s
         )));
     }
-    if cfg.blocks == 0 || cfg.blocks > spec.ai_cores {
+    if cfg.blocks == 0 {
         return Err(SimError::InvalidArgument(format!(
-            "MCScan: blocks {} out of range 1..={}",
-            cfg.blocks, spec.ai_cores
+            "MCScan: blocks must be at least 1 (grids beyond the chip's {} AI \
+             cores wave-multiplex onto the physical slots)",
+            spec.ai_cores
         )));
     }
     let n = x.len();
@@ -396,7 +397,24 @@ mod tests {
         let x = GlobalTensor::from_slice(&gm, &[1i8; 8]).unwrap();
         assert!(mcscan::<i8, i32, i32>(&spec, &gm, &x, cfg(10, 1, ScanKind::Inclusive)).is_err());
         assert!(mcscan::<i8, i32, i32>(&spec, &gm, &x, cfg(16, 0, ScanKind::Inclusive)).is_err());
-        assert!(mcscan::<i8, i32, i32>(&spec, &gm, &x, cfg(16, 99, ScanKind::Inclusive)).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_blocks_wave_multiplex() {
+        // More blocks than the tiny chip's 2 AI cores: the launch
+        // time-shares slots (including across the SyncAll) and the
+        // result is still exact.
+        let (spec, gm) = setup();
+        let data: Vec<i8> = (0..3000).map(|i| ((i * 5) % 11) as i8 - 5).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let blocks = spec.ai_cores + 3;
+        let run =
+            mcscan::<i8, i32, i32>(&spec, &gm, &x, cfg(16, blocks, ScanKind::Inclusive)).unwrap();
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
+        assert_eq!(run.report.sync_rounds, 1);
     }
 
     #[test]

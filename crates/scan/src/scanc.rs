@@ -1,0 +1,446 @@
+//! **ScanC**: the single-pass chained scan with decoupled look-back
+//! (Merrill–Garland style, adapted to the cube/vector split).
+//!
+//! MCScan needs two passes over the data separated by a `SyncAll`: phase
+//! 1 re-reads the input on the vector cores just to produce the block
+//! reductions `r`, and phase 2 re-reads the tile-local scans to add the
+//! block offsets. ScanC removes both the barrier and the recomputation
+//! read: each *lane* (one vector core's contiguous run of tiles) keeps
+//! its tile-local scans resident in UB, computes its own aggregate as a
+//! by-product of the in-lane propagation, and then **looks back** at a
+//! per-lane mailbox in global memory:
+//!
+//! * lane `L` waits on grid flag `L-1` (a launch-wide counting
+//!   semaphore, not a block-local flag register),
+//! * reads `mailbox[L-1]` — the inclusive prefix of everything before
+//!   it — adds it to its resident tiles,
+//! * publishes `mailbox[L] = mailbox[L-1] + aggregate(L)` and sets grid
+//!   flag `L` for its successor.
+//!
+//! Because the cooperative scheduler releases blocks in ascending index
+//! order (wave-multiplexing grids larger than the chip), the look-back
+//! is always *backward* and never deadlocks, even oversubscribed.
+//!
+//! Global-memory traffic: the input is read once (cube), the
+//! intermediate written once and read once, the output written once —
+//! `8` bytes/element for fp16 (vs. MCScan's `10`) and `9` for int8
+//! masks (vs. `10`). The price is a serial chain of
+//! `flag_wait + mailbox round-trip + flag_set` per lane on the critical
+//! path, which the simulator charges in full; ScanC trades wall-clock
+//! latency at small sizes for strictly less DRAM traffic.
+
+use crate::triangular::ScanConstants;
+use crate::util::tile_spans;
+use crate::{finish_report, ScanRun};
+use ascend_sim::mem::GlobalMemory;
+use ascendc::{
+    launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, SpanArgs, TQue,
+};
+use dtypes::{CubeInput, Element, Numeric};
+use std::sync::Arc;
+
+/// ScanC launch parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanCConfig {
+    /// Matmul tile dimension (`ℓ = s²` elements per cube tile).
+    pub s: usize,
+    /// Tiles each lane keeps resident in UB. This bounds the lane's UB
+    /// footprint (`tiles_per_lane · ℓ · O::SIZE` next to one `ℓ ·
+    /// M::SIZE` staging buffer) and sets the look-back chain length:
+    /// fewer, fatter lanes mean fewer serial chain links but less
+    /// launch-wide parallelism.
+    pub tiles_per_lane: usize,
+}
+
+impl ScanCConfig {
+    /// Default configuration for a chip: `s = 128` (the 910B4's
+    /// L0-filling tile) and as many resident tiles per lane as UB holds
+    /// next to the `M`-typed staging buffer.
+    pub fn for_chip<M: Element, O: Element>(spec: &ChipSpec) -> Self {
+        let s = 128;
+        let l = s * s;
+        let budget = spec.ub_capacity.saturating_sub(l * M::SIZE + 64);
+        ScanCConfig {
+            s,
+            tiles_per_lane: (budget / (l * O::SIZE)).max(1),
+        }
+    }
+}
+
+/// Runs ScanC over `x`, producing the inclusive scan in element type
+/// `O`. Type parameters follow [`crate::mcscan::mcscan`]: `T` is the
+/// cube input, `M` the intermediate the tile-local scans travel through
+/// global memory as, `O` the output —
+///
+/// * fp16: `scanc::<F16, F16, F16>`;
+/// * int8 masks: `scanc::<u8, i16, i32>`.
+///
+/// `M` must hold `ℓ` times the largest input value (a tile-local scan
+/// never exceeds that).
+pub fn scanc<T, M, O>(
+    spec: &ChipSpec,
+    gm: &Arc<GlobalMemory>,
+    x: &GlobalTensor<T>,
+    cfg: ScanCConfig,
+) -> SimResult<ScanRun<O>>
+where
+    T: CubeInput,
+    M: Numeric,
+    O: Numeric,
+{
+    if cfg.s == 0 || !cfg.s.is_multiple_of(16) {
+        return Err(SimError::InvalidArgument(format!(
+            "ScanC: s must be a positive multiple of 16, got {}",
+            cfg.s
+        )));
+    }
+    if cfg.tiles_per_lane == 0 {
+        return Err(SimError::InvalidArgument(
+            "ScanC: tiles_per_lane must be at least 1".into(),
+        ));
+    }
+    if spec.flag_id_limit < spec.vec_per_core {
+        return Err(SimError::InvalidArgument(format!(
+            "ScanC: chip has fewer flag ids ({}) than vector cores per AI \
+             core ({}); the per-vector flag-id partitions would collide",
+            spec.flag_id_limit, spec.vec_per_core
+        )));
+    }
+    let n = x.len();
+    let s = cfg.s;
+    let l = s * s;
+    let tpl = cfg.tiles_per_lane;
+    let consts = ScanConstants::<T>::upload(gm, s)?;
+    let y = GlobalTensor::<O>::new(gm, n)?;
+    let w = GlobalTensor::<M>::new(gm, n)?;
+
+    let tiles = tile_spans(n, l);
+    let vpc = spec.vec_per_core as usize;
+    // Lane layout: lane L owns tiles [L·tpl, L·tpl + tpl); every lane
+    // below `nlanes` is non-empty, so the look-back chain has no holes.
+    let nlanes = tiles.len().div_ceil(tpl).max(1);
+    let blocks = nlanes.div_ceil(vpc).max(1) as u32;
+    // One mailbox slot per lane: lane L's inclusive prefix of the input
+    // through its last element.
+    let mailbox = GlobalTensor::<O>::new(gm, nlanes)?;
+    // Cross-core flag registers are partitioned per vector core so the
+    // per-id FIFOs never pair a cube set for lane A with a wait from
+    // lane B; grid flag ids cycle launch-wide (the registry's per-id
+    // FIFO pairs lane L's set with lane L+1's wait because lanes both
+    // publish and consume in ascending execution order).
+    let flag_ids = spec.flag_id_limit;
+    let per_vec_ids = (flag_ids / spec.vec_per_core).max(1);
+
+    let mut report = launch(spec, gm, blocks, "ScanC", |ctx| {
+        let block = ctx.block_idx as usize;
+        let vpc = ctx.vecs.len();
+
+        // ---- Cube core: tile-local scans for this block's lanes. ----
+        let phase = ctx.span_begin("CubeLocalScans");
+        {
+            let flags = &ctx.flags;
+            let cube = &mut ctx.cube;
+            let mut lb = cube.alloc_local::<T>(ScratchpadKind::L0B, l)?;
+            cube.copy_in(&mut lb, 0, &consts.upper, 0, l, &[])?;
+            let da = if 2 * l * T::SIZE <= cube.spec().l0a_capacity {
+                2
+            } else {
+                1
+            };
+            let dc = if 2 * l * <T::Acc as Element>::SIZE <= cube.spec().l0c_capacity {
+                2
+            } else {
+                1
+            };
+            let mut qa = TQue::<T>::new(cube, ScratchpadKind::L0A, da, l)?.named("qa(L0A)");
+            let mut qc = TQue::<T::Acc>::new(cube, ScratchpadKind::L0C, dc, l)?.named("qc(L0C)");
+            for v in 0..vpc {
+                let lane = block * vpc + v;
+                let t0 = lane * tpl;
+                if t0 >= tiles.len() {
+                    break;
+                }
+                let tcount = tpl.min(tiles.len() - t0);
+                for (i, &(off, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
+                    let rows = valid.div_ceil(s);
+                    let tile = cube.span_begin("tile");
+                    let mut la = qa.alloc_tensor()?;
+                    if valid < rows * s {
+                        cube.fill_local(&mut la, 0, rows * s, T::zero())?;
+                    }
+                    cube.copy_in(&mut la, 0, x, off, valid, &[])?;
+                    let mut lc = qc.alloc_tensor()?;
+                    let mm = cube.mmad::<T>(&mut lc, &mut la, &mut lb, rows, s, s, false)?;
+                    qa.free_tensor(la, mm);
+                    let ev = cube.copy_out_cast::<T::Acc, M>(&w, off, &lc, 0, valid, &[])?;
+                    qc.free_tensor(lc, ev);
+                    cube.span_args(
+                        tile,
+                        SpanArgs {
+                            bytes: (valid * (T::SIZE + M::SIZE)) as u64,
+                            kind: "mmad",
+                            queue_depth: da as u32,
+                        },
+                    );
+                    cube.span_end_at(tile, ev);
+                    cube.set_flag(
+                        flags,
+                        v as u32 * per_vec_ids + (i as u32 % per_vec_ids),
+                        &[ev],
+                    )?;
+                }
+            }
+            cube.free_local(lb)?;
+            qa.destroy(cube)?;
+            qc.destroy(cube)?;
+        }
+        ctx.span_end(phase);
+
+        // ---- Vector lanes: in-lane propagation, then look-back. ----
+        let phase = ctx.span_begin("VecLookback");
+        let grid = ctx.grid();
+        for v in 0..vpc {
+            let lane = block * vpc + v;
+            let t0 = lane * tpl;
+            if t0 >= tiles.len() {
+                continue;
+            }
+            let tcount = tpl.min(tiles.len() - t0);
+            let flags = &ctx.flags;
+            let vc = &mut ctx.vecs[v];
+
+            // Load every tile of the lane into a resident UB buffer,
+            // propagating the running partial through it on the way in;
+            // after the last tile `partial` is the lane aggregate.
+            let mut staging = vc.alloc_local::<M>(ScratchpadKind::Ub, l)?;
+            let mut bufs = Vec::with_capacity(tcount);
+            let mut partial = O::zero();
+            let mut partial_ready = 0;
+            let mut cast_done = 0;
+            for (i, &(off, valid)) in tiles[t0..t0 + tcount].iter().enumerate() {
+                let tile = vc.span_begin("tile");
+                let ready =
+                    vc.wait_flag(flags, v as u32 * per_vec_ids + (i as u32 % per_vec_ids))?;
+                vc.copy_in(&mut staging, 0, &w, off, valid, &[ready, cast_done])?;
+                let mut buf = vc.alloc_local::<O>(ScratchpadKind::Ub, valid)?;
+                cast_done = vc.vcast::<M, O>(&mut buf, &staging, 0, valid)?;
+                for (row_off, row_len) in tile_spans(valid, s) {
+                    vc.vadds(&mut buf, row_off, row_len, partial, partial_ready)?;
+                    let (p, pr) = vc.extract(&buf, row_off + row_len - 1)?;
+                    partial = p;
+                    partial_ready = pr;
+                }
+                vc.span_args(
+                    tile,
+                    SpanArgs {
+                        bytes: (valid * (M::SIZE + O::SIZE)) as u64,
+                        kind: "propagate",
+                        queue_depth: 1,
+                    },
+                );
+                vc.span_end_at(tile, partial_ready);
+                bufs.push(buf);
+            }
+
+            // Look-back: the predecessor lane's mailbox holds the
+            // inclusive prefix of everything before this lane.
+            let lookback = vc.span_begin("lookback");
+            let mut mb = vc.alloc_local::<O>(ScratchpadKind::Ub, 1)?;
+            let (prev, prev_ready) = if lane > 0 {
+                let seen = vc.wait_grid_flag(grid, ((lane - 1) % flag_ids as usize) as u32)?;
+                vc.copy_in(&mut mb, 0, &mailbox, lane - 1, 1, &[seen])?;
+                vc.extract(&mb, 0)?
+            } else {
+                (O::zero(), 0)
+            };
+
+            // Publish as early as possible: add the prefix to the *last*
+            // tile first, so the successor unblocks before the bulk of
+            // this lane's output work.
+            let last = bufs.len() - 1;
+            let last_valid = tiles[t0 + last].1;
+            vc.vadds(&mut bufs[last], 0, last_valid, prev, prev_ready)?;
+            let (incl, incl_ready) = vc.extract(&bufs[last], last_valid - 1)?;
+            vc.insert(&mut mb, 0, incl, incl_ready)?;
+            let stored = vc.copy_out(&mailbox, lane, &mb, 0, 1, &[])?;
+            if lane + 1 < nlanes {
+                vc.set_grid_flag(grid, (lane % flag_ids as usize) as u32, &[stored])?;
+            }
+            vc.span_end_at(lookback, stored);
+
+            // Finish the lane: offset the remaining tiles and store y.
+            for (i, buf) in bufs.iter_mut().enumerate() {
+                let (off, valid) = tiles[t0 + i];
+                if i != last {
+                    vc.vadds(buf, 0, valid, prev, prev_ready)?;
+                }
+                vc.copy_out(&y, off, buf, 0, valid, &[])?;
+            }
+            for buf in bufs {
+                vc.free_local(buf)?;
+            }
+            vc.free_local(mb)?;
+            vc.free_local(staging)?;
+        }
+        ctx.span_end(phase);
+        Ok(())
+    })?;
+
+    finish_report(&mut report, n, T::SIZE, O::SIZE);
+    Ok(ScanRun { y, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcscan::{mcscan, McScanConfig, ScanKind};
+    use crate::reference;
+    use dtypes::F16;
+
+    fn setup() -> (ChipSpec, Arc<GlobalMemory>) {
+        let spec = ChipSpec::tiny();
+        let gm = Arc::new(GlobalMemory::new(spec.hbm_capacity));
+        (spec, gm)
+    }
+
+    fn cfg(s: usize, tiles_per_lane: usize) -> ScanCConfig {
+        ScanCConfig { s, tiles_per_lane }
+    }
+
+    #[test]
+    fn matches_reference_multi_lane() {
+        let (spec, gm) = setup();
+        // 3000 elements / 256-elem tiles = 12 tiles; tpl=2 → 6 lanes →
+        // 3 blocks on the tiny chip (intra- and inter-block chaining).
+        let data: Vec<i8> = (0..3000).map(|i| ((i * 7) % 11) as i8 - 5).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(16, 2)).unwrap();
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
+        assert_eq!(run.report.blocks, 3);
+        // No barrier: the whole point of the chained look-back.
+        assert_eq!(run.report.sync_rounds, 0);
+    }
+
+    #[test]
+    fn oversubscribed_lanes_wave_multiplex() {
+        // tpl=1 → 12 lanes → 6 blocks on 2 AI cores: the grid
+        // oversubscribes and the look-back chain spans waves.
+        let (spec, gm) = setup();
+        let data: Vec<i8> = (0..3000).map(|i| ((i * 5) % 9) as i8 - 4).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(16, 1)).unwrap();
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
+        assert_eq!(run.report.blocks, 6);
+        assert!(run.report.blocks > spec.ai_cores);
+    }
+
+    #[test]
+    fn fp16_small_values_exact() {
+        let (spec, gm) = setup();
+        // Sum < 2048 keeps every partial exact in f16, so any
+        // association (lane-local scan + one offset add) is exact too.
+        let data: Vec<F16> = (0..700).map(|i| F16::from_f32((i % 4) as f32)).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = scanc::<F16, F16, F16>(&spec, &gm, &x, cfg(16, 2)).unwrap();
+        assert_eq!(run.y.to_vec(), reference::inclusive(&data));
+    }
+
+    #[test]
+    fn mask_scan_u8_to_i32() {
+        let (spec, gm) = setup();
+        let data: Vec<u8> = (0..1000).map(|i| ((i * 13) % 3 == 0) as u8).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = scanc::<u8, i16, i32>(&spec, &gm, &x, cfg(16, 2)).unwrap();
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<u8, i32>(&data)
+        );
+    }
+
+    #[test]
+    fn partial_tail_tile() {
+        let (spec, gm) = setup();
+        let data: Vec<i8> = (0..600).map(|i| ((i * 7) % 11) as i8 - 5).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(16, 2)).unwrap();
+        assert_eq!(
+            run.y.to_vec(),
+            reference::inclusive_widening::<i8, i32>(&data)
+        );
+    }
+
+    #[test]
+    fn single_tile_and_empty() {
+        let (spec, gm) = setup();
+        let data = vec![2i8, 3, -1, 7];
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(16, 2)).unwrap();
+        assert_eq!(run.y.to_vec(), vec![2, 5, 4, 11]);
+
+        let empty = GlobalTensor::<i8>::new(&gm, 0).unwrap();
+        let run = scanc::<i8, i16, i32>(&spec, &gm, &empty, cfg(16, 2)).unwrap();
+        assert_eq!(run.report.elements, 0);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let (spec, gm) = setup();
+        let x = GlobalTensor::from_slice(&gm, &[1i8; 8]).unwrap();
+        assert!(scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(0, 1)).is_err());
+        assert!(scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(20, 1)).is_err());
+        assert!(scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(16, 0)).is_err());
+    }
+
+    #[test]
+    fn report_has_sane_metrics() {
+        let (spec, gm) = setup();
+        let n = 4096usize;
+        let data = vec![1i8; n];
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let run = scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(16, 2)).unwrap();
+        let r = &run.report;
+        // x once (1B) + w once (2B) read; w write (2B) + y write (4B).
+        let read_lo = (n + 2 * n) as u64;
+        let written_lo = (2 * n + 4 * n) as u64;
+        assert!(r.bytes_read >= read_lo, "{} < {read_lo}", r.bytes_read);
+        assert!(r.bytes_read < read_lo + 8192, "{}", r.bytes_read);
+        assert!(r.bytes_written >= written_lo);
+        assert!(r.bytes_written < written_lo + 4096);
+        assert_eq!(r.useful_bytes, (n * (1 + 4)) as u64);
+        assert_eq!(r.sync_rounds, 0);
+    }
+
+    #[test]
+    fn moves_fewer_bytes_than_mcscan() {
+        // The tentpole claim: dropping the recomputation read cuts
+        // total GM traffic below MCScan's for the same input.
+        let (spec, gm) = setup();
+        let data: Vec<i8> = (0..6000).map(|i| (i % 7) as i8).collect();
+        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let sc = scanc::<i8, i16, i32>(&spec, &gm, &x, cfg(16, 2)).unwrap();
+        let mc = mcscan::<i8, i16, i32>(
+            &spec,
+            &gm,
+            &x,
+            McScanConfig {
+                s: 16,
+                blocks: 2,
+                kind: ScanKind::Inclusive,
+            },
+        )
+        .unwrap();
+        assert_eq!(sc.y.to_vec(), mc.y.to_vec());
+        let sc_total = sc.report.bytes_read + sc.report.bytes_written;
+        let mc_total = mc.report.bytes_read + mc.report.bytes_written;
+        assert!(
+            sc_total < mc_total,
+            "ScanC moved {sc_total} B, MCScan {mc_total} B"
+        );
+    }
+}

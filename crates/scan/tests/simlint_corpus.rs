@@ -20,7 +20,7 @@ use ascend_sim::{hb, prof, Severity, ValidationMode};
 use ascendc::{launch, ChipSpec, GlobalTensor, ScratchpadKind, SimError, SimResult, TQue};
 use scan::{
     batched_scanu, batched_scanul1, cumsum_vec_only, mcscan, mcscan_variant, reduce_cube,
-    reduce_vec, scanu, scanul1, McScanConfig, McScanVariant, ScanKind,
+    reduce_vec, scanc, scanu, scanul1, McScanConfig, McScanVariant, ScanCConfig, ScanKind,
 };
 use std::sync::Arc;
 
@@ -257,6 +257,24 @@ fn shipped_scan_kernels_lint_clean() {
             "mcscan",
             mcscan::<i8, i32, i32>(&spec, &gm, &x, cfg).map(|_| ()),
         ));
+        // ScanC's grid-flag chain, both within the chip's core budget
+        // (tpl=2 → 3 blocks) and oversubscribed (tpl=1 → 6 blocks on 2
+        // cores): the look-back must be race-free in either schedule.
+        for tiles_per_lane in [2usize, 1] {
+            runs.push((
+                "scanc",
+                scanc::<i8, i16, i32>(
+                    &spec,
+                    &gm,
+                    &x,
+                    ScanCConfig {
+                        s: 16,
+                        tiles_per_lane,
+                    },
+                )
+                .map(|_| ()),
+            ));
+        }
         for variant in McScanVariant::ALL {
             runs.push((
                 "mcscan_variant",

@@ -18,11 +18,13 @@ echo "==> perf report smoke: figures --json + trace"
 # before writing; CI additionally pins the stable schema keys.
 cargo run --release -p bench --bin figures -- --json --quick
 test -s BENCH_scan.json
-for key in '"schema":"bench-scan/v2"' '"name":' '"cycles":' '"time_us":' \
-    '"gbps":' '"traffic_gbps":' '"gelems":' '"fraction_of_peak":' \
+for key in '"schema":"bench-scan/v3"' '"name":' '"cycles":' '"time_us":' \
+    '"gbps":' '"traffic_gbps":' '"l2_traffic_gbps":' '"working_set":' \
+    '"gelems":' '"fraction_of_peak":' \
     '"engines":' '"busy_cycles":' '"stall_dependency":' \
     '"stall_contention":' '"stall_barrier":' '"stall_flag":' \
-    '"barrier_wait_cycles":' '"flag_wait_cycles":'; do
+    '"barrier_wait_cycles":' '"flag_wait_cycles":' \
+    '"name":"ScanC(fp16)"' '"name":"ScanC(int8)"' '"traffic":'; do
   grep -qF "$key" BENCH_scan.json \
     || { echo "BENCH_scan.json missing required key $key"; exit 1; }
 done
@@ -38,6 +40,7 @@ rm -f BENCH_scan.first.json
 
 echo "==> oversubscribed smoke: grids larger than the host"
 cargo test -q -p ascendc oversubscribed_launch_is_deterministic
+cargo test -q --test determinism oversubscribed_scanc_is_reproducible_byte_for_byte
 
 cargo run --release -p bench --bin trace -- mcscan 65536 mcscan_trace.json
 test -s mcscan_trace.json
@@ -51,15 +54,15 @@ echo "==> simlint gate: every shipped kernel's schedule must be clean"
 # One trace file per kernel (concatenated launches would look
 # concurrent to the analyzer); simlint exits nonzero on ANY diagnostic
 # — races and sync gaps, but also leak/balance warnings.
-for k in scanu scanul1 mcscan cumsum batched; do
+for k in scanu scanul1 mcscan scanc cumsum batched; do
   cargo run --release -p bench --bin trace -- "$k" 65536 "simlint_$k.json"
 done
 cargo run --release -p bench --bin simlint -- \
   simlint_scanu.json simlint_scanul1.json simlint_mcscan.json \
-  simlint_cumsum.json simlint_batched.json \
+  simlint_scanc.json simlint_cumsum.json simlint_batched.json \
   || { echo "simlint found schedule diagnostics"; exit 1; }
 rm -f simlint_scanu.json simlint_scanul1.json simlint_mcscan.json \
-  simlint_cumsum.json simlint_batched.json
+  simlint_scanc.json simlint_cumsum.json simlint_batched.json
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

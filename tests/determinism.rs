@@ -81,6 +81,43 @@ fn timing_is_independent_of_memory_history() {
 }
 
 #[test]
+fn oversubscribed_scanc_is_reproducible_byte_for_byte() {
+    // ScanC with tiles_per_lane = 1 launches far more blocks than the
+    // chip has AI cores, so the cooperative scheduler wave-multiplexes
+    // slots and the grid-flag look-back chain spans waves. The full
+    // JSON report (cycles, stalls, per-engine counters) and the output
+    // must still be identical across runs despite real OS threads.
+    use ascend_scan::ScanCConfig;
+    let run = || {
+        let dev = Device::ascend_910b4();
+        // 92 tiles of 128² elements → 92 lanes → 46 blocks on 20 cores.
+        let mask: Vec<u8> = (0..1_500_000).map(|i| (i % 3 == 0) as u8).collect();
+        let m = dev.tensor(&mask).unwrap();
+        let r = ascend_scan::scan::scanc::scanc::<u8, i16, i32>(
+            dev.spec(),
+            dev.memory(),
+            &m,
+            ScanCConfig {
+                s: 128,
+                tiles_per_lane: 1,
+            },
+        )
+        .unwrap();
+        assert!(
+            r.report.blocks > dev.spec().ai_cores,
+            "config must oversubscribe ({} blocks on {} cores)",
+            r.report.blocks,
+            dev.spec().ai_cores
+        );
+        (r.report.to_json(dev.spec()), r.y.to_vec())
+    };
+    let (json1, y1) = run();
+    let (json2, y2) = run();
+    assert_eq!(json1, json2, "oversubscribed report must be byte-identical");
+    assert_eq!(y1, y2);
+}
+
+#[test]
 fn block_count_changes_timing_but_not_results() {
     use ascend_scan::{McScanConfig, ScanKind};
     let dev = Device::ascend_910b4();

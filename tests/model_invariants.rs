@@ -304,6 +304,47 @@ fn l2_boost_appears_below_the_cache_capacity() {
 }
 
 #[test]
+fn l2_resident_batched_shapes_never_report_over_peak_dram_traffic() {
+    // Fig. 12's batched shapes fit comfortably inside the 910B4's
+    // 192 MiB L2, so their raw streamed bytes can exceed what the HBM
+    // bus could deliver in the same time. The DRAM-attributed figure
+    // must stay at or below the HBM peak, with the excess credited to
+    // L2 — not reported as impossible over-peak DRAM bandwidth.
+    use ascend_scan::scan::batched_scanu;
+    let dev = Device::ascend_910b4();
+    let hbm_peak = dev.spec().hbm_bytes_per_sec / 1e9;
+    let mut saw_l2_excess = false;
+    for (batch, len) in [(64usize, 32_768usize), (128, 16_384)] {
+        let x = dev.tensor(&vec![F16::ONE; batch * len]).unwrap();
+        let r = batched_scanu::<F16, F16>(dev.spec(), dev.memory(), &x, batch, len, 128)
+            .unwrap()
+            .report;
+        assert!(
+            r.working_set <= dev.spec().l2_capacity as u64,
+            "{batch}x{len}: working set {} spills the {} B L2",
+            r.working_set,
+            dev.spec().l2_capacity
+        );
+        let dram = r.dram_traffic_gbps(dev.spec());
+        assert!(
+            dram <= hbm_peak * 1.0001,
+            "{batch}x{len}: DRAM-attributed {dram:.0} GB/s exceeds the {hbm_peak:.0} GB/s peak"
+        );
+        if r.traffic_gbps() > dram {
+            saw_l2_excess = true;
+            assert!(
+                (r.l2_traffic_gbps(dev.spec()) - (r.traffic_gbps() - dram)).abs() < 1e-6,
+                "L2 figure must be exactly the raw-minus-DRAM excess"
+            );
+        }
+    }
+    assert!(
+        saw_l2_excess,
+        "at least one Fig. 12 shape should be served partly from L2"
+    );
+}
+
+#[test]
 fn launch_overhead_dominates_tiny_inputs() {
     // The flat region of Fig. 3's log-log plot: below a few K elements,
     // time is launch-bound and roughly constant.

@@ -39,6 +39,63 @@ proptest! {
     }
 
     #[test]
+    fn scanc_matches_reference_and_mcscan(
+        mask in proptest::collection::vec(0u8..=1, 1..20_000),
+        s_idx in 0usize..3,
+        tiles_per_lane in 1usize..=4,
+    ) {
+        let s = [32, 64, 128][s_idx];
+        let dev = Device::ascend_910b4();
+        let m = dev.tensor(&mask).unwrap();
+        let sc = ascend_scan::scan::scanc::scanc::<u8, i16, i32>(
+            dev.spec(),
+            dev.memory(),
+            &m,
+            ascend_scan::ScanCConfig { s, tiles_per_lane },
+        ).unwrap();
+        prop_assert_eq!(sc.y.to_vec(), scan_reference(&mask));
+        let mc = ascend_scan::scan::mcscan::mcscan::<u8, i16, i32>(
+            dev.spec(),
+            dev.memory(),
+            &m,
+            McScanConfig { s, blocks: dev.spec().ai_cores, kind: ScanKind::Inclusive },
+        ).unwrap();
+        prop_assert_eq!(sc.y.to_vec(), mc.y.to_vec());
+        // The chained look-back never takes a barrier.
+        prop_assert_eq!(sc.report.sync_rounds, 0);
+    }
+
+    #[test]
+    fn scanc_f16_is_exact_across_the_subnormal_boundary(
+        steps in proptest::collection::vec(0u32..=6, 1..300),
+        tiles_per_lane in 1usize..=3,
+    ) {
+        // Inputs are multiples of the smallest f16 subnormal (2^-24).
+        // The running sum stays below 2048·2^-24 = 2^-13, where every
+        // multiple of 2^-24 is exactly representable, so the sequential
+        // reference and ScanC's lane-local-scan-plus-offset association
+        // must agree bit for bit even as partials cross the
+        // subnormal/normal boundary at 2^-14.
+        let quantum = f32::powi(2.0, -24);
+        let data: Vec<F16> = steps
+            .iter()
+            .map(|&k| F16::from_f32(k as f32 * quantum))
+            .collect();
+        let dev = Device::ascend_910b4();
+        let x = dev.tensor(&data).unwrap();
+        let sc = ascend_scan::scan::scanc::scanc::<F16, F16, F16>(
+            dev.spec(),
+            dev.memory(),
+            &x,
+            ascend_scan::ScanCConfig { s: 16, tiles_per_lane },
+        ).unwrap();
+        let expect = ascend_scan::scan::reference::inclusive(&data);
+        let got: Vec<u16> = sc.y.to_vec().iter().map(|v| v.encode()).collect();
+        let want: Vec<u16> = expect.iter().map(|v| v.encode()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
     fn split_is_a_stable_partition(
         data in proptest::collection::vec(any::<u16>(), 1..8_000),
         seed in any::<u64>(),
