@@ -1,0 +1,1289 @@
+//! Critical-path extraction over a recorded kernel launch.
+//!
+//! The simulator already records everything needed to explain *why* the
+//! makespan is what it is: per-engine busy intervals ([`TraceEvent`]),
+//! attributed idle intervals ([`StallEvent`]), happens-before edges with
+//! their prices ([`HbEvent`]: flag set→wait arrivals, grid-flag chains,
+//! queue hand-offs, `SyncAll` rounds), and — new in this module's PR —
+//! the scheduler's per-round release decisions ([`RoundRecord`],
+//! [`FinalRecord`]). This module stitches those into the **critical
+//! path**: a contiguous chain of causal segments covering `[0, cycles]`
+//! whose total length *must* equal the reported makespan.
+//!
+//! The analyzer walks **backward** from the kernel end. At every cycle
+//! boundary it finds the recorded cause that justifies the time — the
+//! busy instruction that finished there, the flag wire that delivered
+//! there, the barrier round that released there, the bandwidth bound
+//! that stretched there — and follows it. Each hop either emits a
+//! segment (consuming cycles) or jumps lanes (free). If a boundary has
+//! no recorded cause, the timing model and its own accounting disagree,
+//! and the walk fails with [`SimError::AccountingViolation`] — this is
+//! the **makespan identity** audit run on every Full-validation launch.
+//!
+//! On top of the path the module computes:
+//! * **attribution** — path cycles by segment class, engine, and the
+//!   enclosing phase span (the breakdown sums to the makespan exactly,
+//!   because the segments tile `[0, cycles]`);
+//! * **what-if analysis** — COZ-style optimistic speedup bounds from
+//!   deleting a cost class off the path (free cross-core flags,
+//!   infinite HBM bandwidth, zero look-back chain). These are upper
+//!   bounds: removing a cost can surface a second-longest path that the
+//!   subtraction does not see.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::engine::EngineKind;
+use crate::error::{SimError, SimResult};
+use crate::prof::{StallCause, StallEvent, TraceSpan, BLOCK_SCOPE};
+use crate::sync::{FinalRecord, RoundRecord};
+use crate::timeline::EventTime;
+use crate::trace::{HbAction, HbEvent, TraceEvent};
+
+/// What a critical-path segment spends its cycles on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegClass {
+    /// Kernel launch latency (`[0, launch_cycles]`).
+    Launch,
+    /// An engine executing an instruction.
+    Busy,
+    /// A cross-core flag propagating from set to wait
+    /// (`flag_wait_cycles` of wire latency).
+    FlagWire,
+    /// A launch-wide grid flag propagating — one link of the chained
+    /// look-back protocol.
+    ChainWire,
+    /// `SyncAll` barrier release latency on top of the last arrival.
+    BarrierRelease,
+    /// A segment stretched to the global-memory bandwidth bound.
+    Hbm,
+}
+
+impl SegClass {
+    /// Stable lower-case label used in JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SegClass::Launch => "launch",
+            SegClass::Busy => "busy",
+            SegClass::FlagWire => "flag_wire",
+            SegClass::ChainWire => "chain_wire",
+            SegClass::BarrierRelease => "barrier_release",
+            SegClass::Hbm => "hbm",
+        }
+    }
+}
+
+/// One segment of the critical path. Segments tile `[0, cycles]`:
+/// consecutive segments share a boundary and the lengths sum to the
+/// makespan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSeg {
+    /// What the cycles were spent on.
+    pub class: SegClass,
+    /// Start cycle.
+    pub start: EventTime,
+    /// End cycle.
+    pub end: EventTime,
+    /// Block that owns the segment (producer block for wires); `None`
+    /// for launch-wide segments (launch, HBM stretch, barrier release).
+    pub block: Option<u32>,
+    /// Core within the block, parallel to `block`.
+    pub core: Option<u32>,
+    /// Executing engine (busy segments only).
+    pub engine: Option<EngineKind>,
+    /// Busy segment is flag bookkeeping (a set/wait/arrival/poll
+    /// instruction on the scalar pipe) rather than useful work.
+    pub flag_instr: bool,
+    /// Busy segment is a grid-flag publish — a link of the look-back
+    /// chain's instruction cost.
+    pub chain_instr: bool,
+    /// Innermost phase span enclosing the segment, `"(launch)"`,
+    /// `"(bandwidth)"`, `"(barrier)"`, or `"(unattributed)"`.
+    pub phase: &'static str,
+}
+
+impl PathSeg {
+    /// Segment length in cycles.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the segment is zero-length (can happen for zero-cost
+    /// barrier releases; never for wires).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// One what-if experiment: delete a cost class from the critical path
+/// and report the optimistic predicted makespan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WhatIf {
+    /// Experiment name (`free_flags`, `infinite_hbm`, `zero_lookback`).
+    pub name: &'static str,
+    /// Critical-path cycles the deleted class contributed.
+    pub saved: u64,
+    /// Predicted makespan with the class deleted (`makespan - saved`);
+    /// an optimistic lower bound on the achievable cycles.
+    pub predicted: u64,
+}
+
+/// Critical-path attribution. Every cycle of the makespan lands in
+/// exactly one of the class buckets, so
+/// `launch + busy + flag_wire + chain_wire + barrier_release + hbm`
+/// equals `makespan` exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CritSummary {
+    /// The reported kernel cycles the path must (and does) add up to.
+    pub makespan: u64,
+    /// Cycles in launch latency.
+    pub launch: u64,
+    /// Cycles executing instructions.
+    pub busy: u64,
+    /// Cycles in per-block flag wires (including `SyncAll` arrival
+    /// skew edges).
+    pub flag_wire: u64,
+    /// Cycles in grid-flag (look-back chain) wires.
+    pub chain_wire: u64,
+    /// Cycles in barrier release latency.
+    pub barrier_release: u64,
+    /// Cycles stretched to the HBM bandwidth bound.
+    pub hbm: u64,
+    /// Busy cycles per engine, indexed like [`EngineKind::ALL`].
+    pub busy_by_engine: [u64; EngineKind::ALL.len()],
+    /// Busy cycles that are flag bookkeeping instructions.
+    pub flag_instr: u64,
+    /// Busy cycles that are grid-flag publish instructions.
+    pub chain_instr: u64,
+    /// The look-back chain's total footprint on the path:
+    /// `chain_wire + chain_instr`.
+    pub lookback_chain: u64,
+    /// Path cycles per enclosing phase span, sorted by cycles
+    /// descending (ties by name).
+    pub phases: Vec<(&'static str, u64)>,
+    /// Number of path segments (zero-length ones included).
+    pub segments: usize,
+    /// What-if experiments (always `free_flags`, `infinite_hbm`,
+    /// `zero_lookback`, in that order).
+    pub what_ifs: Vec<WhatIf>,
+}
+
+impl CritSummary {
+    /// Share of the makespan spent on the look-back chain, in `[0, 1]`.
+    pub fn lookback_share(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.lookback_chain as f64 / self.makespan as f64
+        }
+    }
+}
+
+/// The extracted critical path: the segment chain plus its summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CritReport {
+    /// Path segments in ascending time order, tiling `[0, makespan]`.
+    pub segments: Vec<PathSeg>,
+    /// Attribution and what-ifs.
+    pub summary: CritSummary,
+}
+
+/// Everything the analyzer needs from a recorded launch.
+pub struct CritInput<'a> {
+    /// The reported makespan ([`crate::report::KernelReport::cycles`]).
+    pub cycles: u64,
+    /// Launch latency — the origin every wave-0 block starts from.
+    pub origin: EventTime,
+    /// Flag wire latency (`ChipSpec::flag_wait_cycles`).
+    pub flag_wait_cycles: u64,
+    /// Flag set/poll instruction cost (`ChipSpec::flag_set_cycles`).
+    pub flag_set_cycles: u64,
+    /// Recorded per-engine busy intervals.
+    pub events: &'a [TraceEvent],
+    /// Recorded idle intervals with causes.
+    pub stalls: &'a [StallEvent],
+    /// Recorded happens-before events.
+    pub hb: &'a [HbEvent],
+    /// Recorded spans (phase attribution; may be empty).
+    pub spans: &'a [TraceSpan],
+    /// Scheduler barrier-round decisions, in round order.
+    pub rounds: &'a [RoundRecord],
+    /// The kernel-end alignment decision.
+    pub finale: FinalRecord,
+}
+
+// ---------------------------------------------------------------------
+// Internal walk machinery
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum IvKind {
+    Busy {
+        engine: EngineKind,
+        flag: bool,
+        chain: bool,
+    },
+    Stall(StallCause),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Iv {
+    start: EventTime,
+    end: EventTime,
+    kind: IvKind,
+}
+
+struct Lane {
+    block: u32,
+    core: u32,
+    ivs: Vec<Iv>,
+}
+
+/// Where the backward walk currently stands. `t` (held outside) is the
+/// boundary being justified.
+#[derive(Clone, Copy, Debug)]
+enum Cursor {
+    /// Justify the kernel end via the final alignment record.
+    Final,
+    /// Consume lane interval `(lane, idx)`, which ends at `t`.
+    Lane(usize, usize),
+    /// Justify `t` as barrier round `r`'s release.
+    Round(usize),
+    /// Find any recorded cause ending at `t`, optionally preferring a
+    /// `(block, core)` (the stalled consumer).
+    Seek(Option<(u32, u32)>),
+    /// Like `Seek`, but flag-first: `t` ended a flag stall on the
+    /// given core, so try its wait edges before generic causes.
+    SeekFlag(u32, u32),
+    /// Justify `t` as the launch origin and finish.
+    Launch,
+    /// Walk complete.
+    Done,
+}
+
+/// A flag identity: `(grid-scoped?, id, namespaced token)`.
+type FlagKey = (bool, u32, u64);
+/// A wait site: `(block, core)` plus its flag identity.
+type WaitSite = (u32, u32, bool, u32, u64);
+
+struct Analyzer<'a> {
+    input: &'a CritInput<'a>,
+    lanes: Vec<Lane>,
+    /// Busy intervals by end cycle, in deterministic lane order.
+    busy_end: HashMap<EventTime, Vec<(usize, usize)>>,
+    /// Stall intervals by end cycle, in deterministic lane order.
+    stall_end: HashMap<EventTime, Vec<(usize, usize)>>,
+    /// Flag/grid-flag waits by `(block, core, time)`.
+    waits: HashMap<(u32, u32, EventTime), Vec<FlagKey>>,
+    /// Flag/grid-flag waits by time alone (cross-lane fallback).
+    waits_by_time: HashMap<EventTime, Vec<WaitSite>>,
+    /// Flag/grid-flag sets by `(grid, id, token)`.
+    sets: HashMap<FlagKey, (u32, u32, EventTime)>,
+    /// Depth-1 block-scope spans per block, sorted by start.
+    phase_spans: HashMap<u32, Vec<(EventTime, EventTime, &'static str)>>,
+}
+
+fn viol(what: &'static str, detail: String) -> SimError {
+    SimError::AccountingViolation { what, detail }
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(input: &'a CritInput<'a>) -> Self {
+        // Index the hb flag traffic first; busy tagging needs it.
+        let mut waits: HashMap<(u32, u32, EventTime), Vec<FlagKey>> = HashMap::new();
+        let mut waits_by_time: HashMap<EventTime, Vec<WaitSite>> = HashMap::new();
+        let mut sets: HashMap<FlagKey, (u32, u32, EventTime)> = HashMap::new();
+        let mut flag_times: HashSet<(u32, u32, EventTime)> = HashSet::new();
+        let mut chain_times: HashSet<(u32, u32, EventTime)> = HashSet::new();
+        for e in input.hb {
+            match e.action {
+                HbAction::FlagSet { id, token } => {
+                    // Flag files are per block: namespace the token by
+                    // block so (id, token) pairs cannot collide.
+                    sets.insert(
+                        (false, id, (e.block as u64) << 40 | token),
+                        (e.block, e.core, e.time),
+                    );
+                    flag_times.insert((e.block, e.core, e.time));
+                }
+                HbAction::FlagWait { id, token } => {
+                    let tok = (e.block as u64) << 40 | token;
+                    waits
+                        .entry((e.block, e.core, e.time))
+                        .or_default()
+                        .push((false, id, tok));
+                    waits_by_time
+                        .entry(e.time)
+                        .or_default()
+                        .push((e.block, e.core, false, id, tok));
+                    flag_times.insert((e.block, e.core, e.time));
+                }
+                HbAction::GridFlagSet { id, token } => {
+                    sets.insert((true, id, token), (e.block, e.core, e.time));
+                    flag_times.insert((e.block, e.core, e.time));
+                    chain_times.insert((e.block, e.core, e.time));
+                }
+                HbAction::GridFlagWait { id, token } => {
+                    waits
+                        .entry((e.block, e.core, e.time))
+                        .or_default()
+                        .push((true, id, token));
+                    waits_by_time
+                        .entry(e.time)
+                        .or_default()
+                        .push((e.block, e.core, true, id, token));
+                    flag_times.insert((e.block, e.core, e.time));
+                    chain_times.insert((e.block, e.core, e.time));
+                }
+                _ => {}
+            }
+        }
+
+        // Build per-(block, core, engine) lanes of busy + stall
+        // intervals. Busy and idle intervals tile each lane (that is
+        // audited elsewhere); the walk re-checks the property locally.
+        let mut by_key: HashMap<(u32, u32, usize), Vec<Iv>> = HashMap::new();
+        for ev in input.events {
+            let dur = ev.end - ev.start;
+            let is_flag_instr = ev.engine == EngineKind::FLAG_ENGINE
+                && (flag_times.contains(&(ev.block, ev.core, ev.end))
+                    || dur == input.flag_set_cycles
+                    || dur == input.flag_wait_cycles);
+            let is_chain_instr = ev.engine == EngineKind::FLAG_ENGINE
+                && chain_times.contains(&(ev.block, ev.core, ev.end));
+            by_key
+                .entry((ev.block, ev.core, ev.engine.index()))
+                .or_default()
+                .push(Iv {
+                    start: ev.start,
+                    end: ev.end,
+                    kind: IvKind::Busy {
+                        engine: ev.engine,
+                        flag: is_flag_instr || is_chain_instr,
+                        chain: is_chain_instr,
+                    },
+                });
+        }
+        for st in input.stalls {
+            by_key
+                .entry((st.block, st.core, st.engine.index()))
+                .or_default()
+                .push(Iv {
+                    start: st.start,
+                    end: st.end,
+                    kind: IvKind::Stall(st.cause),
+                });
+        }
+        let mut keys: Vec<(u32, u32, usize)> = by_key.keys().copied().collect();
+        keys.sort_unstable();
+        let mut lanes = Vec::with_capacity(keys.len());
+        let mut busy_end: HashMap<EventTime, Vec<(usize, usize)>> = HashMap::new();
+        let mut stall_end: HashMap<EventTime, Vec<(usize, usize)>> = HashMap::new();
+        for key in keys {
+            let mut ivs = by_key.remove(&key).expect("keyed lane");
+            ivs.sort_unstable_by_key(|iv| (iv.start, iv.end));
+            let li = lanes.len();
+            for (i, iv) in ivs.iter().enumerate() {
+                match iv.kind {
+                    IvKind::Busy { .. } => busy_end.entry(iv.end).or_default().push((li, i)),
+                    IvKind::Stall(_) => stall_end.entry(iv.end).or_default().push((li, i)),
+                }
+            }
+            lanes.push(Lane {
+                block: key.0,
+                core: key.1,
+                ivs,
+            });
+        }
+
+        let mut phase_spans: HashMap<u32, Vec<(EventTime, EventTime, &'static str)>> =
+            HashMap::new();
+        for s in input.spans {
+            if s.depth == 1 && s.core == BLOCK_SCOPE {
+                phase_spans
+                    .entry(s.block)
+                    .or_default()
+                    .push((s.start, s.end, s.name));
+            }
+        }
+        for spans in phase_spans.values_mut() {
+            spans.sort_unstable();
+        }
+
+        Analyzer {
+            input,
+            lanes,
+            busy_end,
+            stall_end,
+            waits,
+            waits_by_time,
+            sets,
+            phase_spans,
+        }
+    }
+
+    /// First busy interval ending at `t` whose lane satisfies `pred`,
+    /// in deterministic lane order. Zero-length intervals are skipped:
+    /// they cannot justify the passage of time and would loop the walk.
+    fn busy_at<F: Fn(&Lane) -> bool>(&self, t: EventTime, pred: F) -> Option<(usize, usize)> {
+        let cands = self.busy_end.get(&t)?;
+        cands
+            .iter()
+            .find(|(l, i)| {
+                let iv = &self.lanes[*l].ivs[*i];
+                iv.start < iv.end && pred(&self.lanes[*l])
+            })
+            .copied()
+    }
+
+    /// First unvisited stall interval ending at `t`.
+    fn stall_at(&self, t: EventTime, visited: &HashSet<(usize, usize)>) -> Option<(usize, usize)> {
+        let cands = self.stall_end.get(&t)?;
+        cands.iter().find(|c| !visited.contains(c)).copied()
+    }
+
+    /// Resolves the wait edges arriving on `(block, core)` at `t` to a
+    /// wire segment ending at `t`: returns the producer and the wire
+    /// class. The wire spans `[set_time, t]` with `t = set_time +
+    /// flag_wait_cycles` (a wait that arrives after the edge does not
+    /// stall and never reaches this lookup).
+    fn wire_at(&self, block: u32, core: u32, t: EventTime) -> Option<(u32, u32, EventTime, bool)> {
+        let w = self.input.flag_wait_cycles;
+        for &(grid, id, token) in self.waits.get(&(block, core, t))? {
+            if let Some(&(pb, pc, ts)) = self.sets.get(&(grid, id, token)) {
+                if ts + w == t {
+                    return Some((pb, pc, ts, grid));
+                }
+            }
+        }
+        None
+    }
+
+    /// Cross-lane wire fallback: any wait edge arriving at `t`.
+    fn wire_any(&self, t: EventTime) -> Option<(u32, u32, EventTime, bool)> {
+        let w = self.input.flag_wait_cycles;
+        for &(_, _, grid, id, token) in self.waits_by_time.get(&t)? {
+            if let Some(&(pb, pc, ts)) = self.sets.get(&(grid, id, token)) {
+                if ts + w == t {
+                    return Some((pb, pc, ts, grid));
+                }
+            }
+        }
+        None
+    }
+
+    /// Innermost phase span of `block` containing cycle `at`.
+    fn phase_of(&self, block: u32, at: EventTime) -> &'static str {
+        if let Some(spans) = self.phase_spans.get(&block) {
+            let mut best: Option<&'static str> = None;
+            for &(s, e, name) in spans {
+                if s <= at && at < e.max(s + 1) {
+                    best = Some(name);
+                }
+                if s > at {
+                    break;
+                }
+            }
+            if let Some(name) = best {
+                return name;
+            }
+        }
+        "(unattributed)"
+    }
+
+    /// Runs the backward walk; returns segments in ascending order.
+    fn walk(&self) -> SimResult<Vec<PathSeg>> {
+        let input = self.input;
+        let fw = input.flag_wait_cycles;
+        let total_ivs: usize = self.lanes.iter().map(|l| l.ivs.len()).sum();
+        let limit = 2 * total_ivs + 8 * input.rounds.len() + 64;
+
+        let mut segs: Vec<PathSeg> = Vec::new();
+        let mut t = input.cycles;
+        let mut cur = Cursor::Final;
+        let mut visited: HashSet<(usize, usize)> = HashSet::new();
+        let mut last_t = EventTime::MAX;
+        let mut steps = 0usize;
+
+        let push = |segs: &mut Vec<PathSeg>,
+                    class: SegClass,
+                    start: EventTime,
+                    end: EventTime,
+                    lane: Option<(u32, u32)>,
+                    engine: Option<EngineKind>,
+                    flag: bool,
+                    chain: bool|
+         -> SimResult<()> {
+            if start > end {
+                return Err(viol(
+                    "critical-path segment",
+                    format!(
+                        "{} segment would run backward: [{start}, {end}]",
+                        class.label()
+                    ),
+                ));
+            }
+            let mid = start + (end - start) / 2;
+            let phase = match class {
+                SegClass::Launch => "(launch)",
+                SegClass::Hbm => "(bandwidth)",
+                SegClass::BarrierRelease => "(barrier)",
+                _ => match lane {
+                    Some((b, _)) => self.phase_of(b, mid),
+                    None => "(barrier)",
+                },
+            };
+            segs.push(PathSeg {
+                class,
+                start,
+                end,
+                block: lane.map(|(b, _)| b),
+                core: lane.map(|(_, c)| c),
+                engine,
+                flag_instr: flag,
+                chain_instr: chain,
+                phase,
+            });
+            Ok(())
+        };
+
+        loop {
+            steps += 1;
+            if steps > limit {
+                return Err(viol(
+                    "critical-path walk",
+                    format!("no progress after {steps} steps at cycle {t}"),
+                ));
+            }
+            if t < last_t {
+                visited.clear();
+                last_t = t;
+            }
+            match cur {
+                Cursor::Done => break,
+                Cursor::Final => {
+                    let f = &input.finale;
+                    if f.end != t {
+                        return Err(viol(
+                            "makespan identity",
+                            format!(
+                                "kernel-end alignment resolved at {} but the report says {}",
+                                f.end, t
+                            ),
+                        ));
+                    }
+                    if f.max_local >= f.bw_bound {
+                        cur = Cursor::Seek(None);
+                    } else {
+                        push(
+                            &mut segs,
+                            SegClass::Hbm,
+                            f.seg_start,
+                            t,
+                            None,
+                            None,
+                            false,
+                            false,
+                        )?;
+                        t = f.seg_start;
+                        cur = self.seg_start_cursor(input.rounds.len());
+                    }
+                }
+                Cursor::Round(r) => {
+                    let rr = &input.rounds[r];
+                    if rr.resolved != t {
+                        return Err(viol(
+                            "critical-path walk",
+                            format!(
+                                "round {r} resolved at {} but the path reaches it at {t}",
+                                rr.resolved
+                            ),
+                        ));
+                    }
+                    let base = rr.ready_max.max(rr.bw_bound);
+                    push(
+                        &mut segs,
+                        SegClass::BarrierRelease,
+                        base,
+                        t,
+                        None,
+                        None,
+                        false,
+                        false,
+                    )?;
+                    t = base;
+                    if rr.bw_bound >= rr.ready_max {
+                        push(
+                            &mut segs,
+                            SegClass::Hbm,
+                            rr.seg_start,
+                            t,
+                            None,
+                            None,
+                            false,
+                            false,
+                        )?;
+                        t = rr.seg_start;
+                        cur = self.seg_start_cursor(r);
+                    } else {
+                        // The release base is the slowest block's poll
+                        // completion — a recorded busy end.
+                        cur = Cursor::Seek(None);
+                    }
+                }
+                Cursor::Lane(l, i) => {
+                    let lane = &self.lanes[l];
+                    let iv = lane.ivs[i];
+                    if iv.end != t {
+                        return Err(viol(
+                            "critical-path walk",
+                            format!(
+                                "lane (block {}, core {}) interval ends at {} but the \
+                                 path reaches it at {t}",
+                                lane.block, lane.core, iv.end
+                            ),
+                        ));
+                    }
+                    match iv.kind {
+                        IvKind::Busy {
+                            engine,
+                            flag,
+                            chain,
+                        } => {
+                            push(
+                                &mut segs,
+                                SegClass::Busy,
+                                iv.start,
+                                t,
+                                Some((lane.block, lane.core)),
+                                Some(engine),
+                                flag,
+                                chain,
+                            )?;
+                            t = iv.start;
+                            if i > 0 {
+                                let prev = lane.ivs[i - 1];
+                                if prev.end != t {
+                                    return Err(viol(
+                                        "critical-path walk",
+                                        format!(
+                                            "lane (block {}, core {}) has a gap: interval \
+                                             ends at {} but the next starts at {t}",
+                                            lane.block, lane.core, prev.end
+                                        ),
+                                    ));
+                                }
+                                cur = Cursor::Lane(l, i - 1);
+                            } else {
+                                // Lane origin: a wave-0 block starts at
+                                // the launch origin; a requeued block
+                                // starts where the previous slot tenant
+                                // yielded (a recorded busy/stall end).
+                                cur = Cursor::Seek(Some((lane.block, lane.core)));
+                            }
+                        }
+                        IvKind::Stall(cause) => {
+                            cur = match cause {
+                                StallCause::Flag => Cursor::SeekFlag(lane.block, lane.core),
+                                _ => Cursor::Seek(Some((lane.block, lane.core))),
+                            };
+                        }
+                    }
+                }
+                Cursor::SeekFlag(b, c) => {
+                    if let Some((pb, pc, ts, grid)) = self.wire_at(b, c, t) {
+                        let class = if grid {
+                            SegClass::ChainWire
+                        } else {
+                            SegClass::FlagWire
+                        };
+                        push(&mut segs, class, ts, t, Some((pb, pc)), None, false, false)?;
+                        t = ts;
+                        cur = Cursor::Seek(Some((pb, pc)));
+                    } else if let Some(r) = input
+                        .rounds
+                        .iter()
+                        .rposition(|rr| rr.all_set + fw == t && rr.all_set < t)
+                    {
+                        // SyncAll arrival-skew edge: the last peer's
+                        // arrival flag reaching this core.
+                        push(
+                            &mut segs,
+                            SegClass::FlagWire,
+                            input.rounds[r].all_set,
+                            t,
+                            None,
+                            None,
+                            false,
+                            false,
+                        )?;
+                        t = input.rounds[r].all_set;
+                        cur = Cursor::Seek(None);
+                    } else if let Some(r) = input.rounds.iter().rposition(|rr| rr.resolved == t) {
+                        // Flag edge truncated by the resume alignment.
+                        cur = Cursor::Round(r);
+                    } else {
+                        cur = Cursor::Seek(Some((b, c)));
+                    }
+                }
+                Cursor::Seek(near) => {
+                    if let Some((b, c)) = near {
+                        if let Some((l, i)) = self.busy_at(t, |l| l.block == b && l.core == c) {
+                            cur = Cursor::Lane(l, i);
+                            continue;
+                        }
+                        if self.waits.contains_key(&(b, c, t)) {
+                            cur = Cursor::SeekFlag(b, c);
+                            continue;
+                        }
+                        if let Some((l, i)) = self.busy_at(t, |l| l.block == b) {
+                            cur = Cursor::Lane(l, i);
+                            continue;
+                        }
+                    }
+                    if let Some(r) = input.rounds.iter().rposition(|rr| rr.resolved == t) {
+                        cur = Cursor::Round(r);
+                        continue;
+                    }
+                    if let Some((l, i)) = self.busy_at(t, |_| true) {
+                        cur = Cursor::Lane(l, i);
+                        continue;
+                    }
+                    if let Some((pb, pc, ts, grid)) = self.wire_any(t) {
+                        let class = if grid {
+                            SegClass::ChainWire
+                        } else {
+                            SegClass::FlagWire
+                        };
+                        push(&mut segs, class, ts, t, Some((pb, pc)), None, false, false)?;
+                        t = ts;
+                        cur = Cursor::Seek(Some((pb, pc)));
+                        continue;
+                    }
+                    if let Some(r) = input
+                        .rounds
+                        .iter()
+                        .rposition(|rr| rr.all_set + fw == t && rr.all_set < t)
+                    {
+                        push(
+                            &mut segs,
+                            SegClass::FlagWire,
+                            input.rounds[r].all_set,
+                            t,
+                            None,
+                            None,
+                            false,
+                            false,
+                        )?;
+                        t = input.rounds[r].all_set;
+                        cur = Cursor::Seek(None);
+                        continue;
+                    }
+                    if t == input.origin {
+                        cur = Cursor::Launch;
+                        continue;
+                    }
+                    if let Some((l, i)) = self.stall_at(t, &visited) {
+                        visited.insert((l, i));
+                        cur = Cursor::Lane(l, i);
+                        continue;
+                    }
+                    return Err(viol(
+                        "makespan identity",
+                        format!(
+                            "unexplained boundary: no recorded instruction, stall, flag \
+                             edge, barrier round, or launch origin ends at cycle {t}"
+                        ),
+                    ));
+                }
+                Cursor::Launch => {
+                    if t != input.origin {
+                        return Err(viol(
+                            "critical-path walk",
+                            format!(
+                                "launch segment reached at cycle {t}, origin is {}",
+                                input.origin
+                            ),
+                        ));
+                    }
+                    push(&mut segs, SegClass::Launch, 0, t, None, None, false, false)?;
+                    t = 0;
+                    cur = Cursor::Done;
+                }
+            }
+        }
+
+        segs.reverse();
+        Ok(segs)
+    }
+
+    /// Cursor for the start of segment `i`'s round (the previous
+    /// round's release, or the launch origin for the first segment).
+    fn seg_start_cursor(&self, i: usize) -> Cursor {
+        if i == 0 {
+            Cursor::Launch
+        } else {
+            Cursor::Round(i - 1)
+        }
+    }
+}
+
+/// Extracts the critical path of a recorded launch and asserts the
+/// makespan identity: the path must tile `[0, cycles]` exactly, with
+/// every boundary justified by a recorded cause. Fails with
+/// [`SimError::AccountingViolation`] when the timing model and its own
+/// records disagree.
+pub fn analyze(input: &CritInput<'_>) -> SimResult<CritReport> {
+    let analyzer = Analyzer::new(input);
+    let segments = analyzer.walk()?;
+
+    // The walk builds the chain backward from `cycles`, emitting
+    // contiguous segments; re-verify the tiling to make the identity
+    // audit independent of the walk's bookkeeping.
+    let mut at = 0u64;
+    for s in &segments {
+        if s.start != at {
+            return Err(viol(
+                "makespan identity",
+                format!(
+                    "critical path is not contiguous: segment starts at {} after {}",
+                    s.start, at
+                ),
+            ));
+        }
+        at = s.end;
+    }
+    if at != input.cycles {
+        return Err(viol(
+            "makespan identity",
+            format!(
+                "critical path covers [0, {at}] but the report says {} cycles",
+                input.cycles
+            ),
+        ));
+    }
+
+    let mut summary = CritSummary {
+        makespan: input.cycles,
+        launch: 0,
+        busy: 0,
+        flag_wire: 0,
+        chain_wire: 0,
+        barrier_release: 0,
+        hbm: 0,
+        busy_by_engine: [0; EngineKind::ALL.len()],
+        flag_instr: 0,
+        chain_instr: 0,
+        lookback_chain: 0,
+        phases: Vec::new(),
+        segments: segments.len(),
+        what_ifs: Vec::new(),
+    };
+    let mut phases: HashMap<&'static str, u64> = HashMap::new();
+    for s in &segments {
+        let len = s.len();
+        match s.class {
+            SegClass::Launch => summary.launch += len,
+            SegClass::Busy => {
+                summary.busy += len;
+                if let Some(e) = s.engine {
+                    summary.busy_by_engine[e.index()] += len;
+                }
+                if s.flag_instr {
+                    summary.flag_instr += len;
+                }
+                if s.chain_instr {
+                    summary.chain_instr += len;
+                }
+            }
+            SegClass::FlagWire => summary.flag_wire += len,
+            SegClass::ChainWire => summary.chain_wire += len,
+            SegClass::BarrierRelease => summary.barrier_release += len,
+            SegClass::Hbm => summary.hbm += len,
+        }
+        *phases.entry(s.phase).or_default() += len;
+    }
+    summary.lookback_chain = summary.chain_wire + summary.chain_instr;
+    let mut phases: Vec<(&'static str, u64)> = phases.into_iter().collect();
+    phases.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    summary.phases = phases;
+
+    let mk = summary.makespan;
+    let free_flags = summary.flag_wire + summary.chain_wire + summary.flag_instr;
+    let zero_lookback = summary.lookback_chain;
+    summary.what_ifs = vec![
+        WhatIf {
+            name: "free_flags",
+            saved: free_flags,
+            predicted: mk - free_flags,
+        },
+        WhatIf {
+            name: "infinite_hbm",
+            saved: summary.hbm,
+            predicted: mk - summary.hbm,
+        },
+        WhatIf {
+            name: "zero_lookback",
+            saved: zero_lookback,
+            predicted: mk - zero_lookback,
+        },
+    ];
+
+    Ok(CritReport { segments, summary })
+}
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl CritSummary {
+    /// The `critical_path` JSON object (no surrounding key), stable
+    /// schema: integer cycle buckets that sum to `makespan`, share
+    /// fractions in `[0, 1]`, per-engine busy cycles, phase breakdown,
+    /// and the what-if table.
+    pub fn to_json(&self) -> String {
+        let mk = self.makespan;
+        let share = |c: u64| {
+            if mk == 0 {
+                "0.0".to_string()
+            } else {
+                jf(c as f64 / mk as f64)
+            }
+        };
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"makespan\":{mk},\"launch\":{},\"busy\":{},\"flag_wire\":{},\
+             \"chain_wire\":{},\"barrier_release\":{},\"hbm\":{}",
+            self.launch, self.busy, self.flag_wire, self.chain_wire, self.barrier_release, self.hbm
+        ));
+        out.push_str(&format!(
+            ",\"launch_share\":{},\"busy_share\":{},\"flag_wire_share\":{},\
+             \"chain_wire_share\":{},\"barrier_release_share\":{},\"hbm_share\":{}",
+            share(self.launch),
+            share(self.busy),
+            share(self.flag_wire),
+            share(self.chain_wire),
+            share(self.barrier_release),
+            share(self.hbm)
+        ));
+        out.push_str(&format!(
+            ",\"flag_instr\":{},\"chain_instr\":{},\"lookback_chain\":{},\
+             \"lookback_chain_share\":{}",
+            self.flag_instr,
+            self.chain_instr,
+            self.lookback_chain,
+            share(self.lookback_chain)
+        ));
+        out.push_str(",\"busy_by_engine\":{");
+        let mut first = true;
+        for (i, e) in EngineKind::ALL.iter().enumerate() {
+            if self.busy_by_engine[i] > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{}\":{}", e.name(), self.busy_by_engine[i]));
+            }
+        }
+        out.push_str("},\"phases\":[");
+        for (i, (name, cycles)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cycles\":{cycles},\"share\":{}}}",
+                share(*cycles)
+            ));
+        }
+        out.push_str(&format!("],\"segments\":{},\"what_ifs\":[", self.segments));
+        for (i, w) in self.what_ifs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let speedup = if w.predicted == 0 {
+                "0.0".to_string()
+            } else {
+                jf(mk as f64 / w.predicted as f64)
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"saved_cycles\":{},\"predicted_cycles\":{},\
+                 \"speedup\":{speedup}}}",
+                w.name, w.saved, w.predicted
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl CritReport {
+    /// JSON for the trace export: the summary plus the `top` longest
+    /// segments (ties broken by start cycle).
+    pub fn to_json(&self, top: usize) -> String {
+        let mut order: Vec<usize> = (0..self.segments.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(self.segments[i].len()),
+                self.segments[i].start,
+            )
+        });
+        order.truncate(top);
+        order.sort_by_key(|&i| self.segments[i].start);
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"summary\":");
+        out.push_str(&self.summary.to_json());
+        out.push_str(",\"top_segments\":[");
+        for (n, &i) in order.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let s = &self.segments[i];
+            out.push_str(&format!(
+                "{{\"class\":\"{}\",\"start\":{},\"end\":{},\"cycles\":{}",
+                s.class.label(),
+                s.start,
+                s.end,
+                s.len()
+            ));
+            if let Some(b) = s.block {
+                out.push_str(&format!(",\"block\":{b}"));
+            }
+            if let Some(c) = s.core {
+                out.push_str(&format!(",\"core\":{c}"));
+            }
+            if let Some(e) = s.engine {
+                out.push_str(&format!(",\"engine\":\"{}\"", e.name()));
+            }
+            out.push_str(&format!(",\"phase\":\"{}\"}}", s.phase));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy(block: u32, core: u32, engine: EngineKind, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            block,
+            core,
+            engine,
+            start,
+            end,
+        }
+    }
+
+    fn stall(
+        block: u32,
+        core: u32,
+        engine: EngineKind,
+        cause: StallCause,
+        start: u64,
+        end: u64,
+    ) -> StallEvent {
+        StallEvent {
+            block,
+            core,
+            engine,
+            cause,
+            start,
+            end,
+        }
+    }
+
+    fn finale(max_local: u64, seg_start: u64) -> FinalRecord {
+        FinalRecord {
+            max_local,
+            seg_start,
+            seg_bytes: 0,
+            bw_bound: seg_start,
+            end: max_local,
+        }
+    }
+
+    #[test]
+    fn single_lane_tiling_is_the_whole_path() {
+        // launch [0,100], vec busy [100,400], end at 400.
+        let events = [busy(0, 1, EngineKind::Vec, 100, 400)];
+        let input = CritInput {
+            cycles: 400,
+            origin: 100,
+            flag_wait_cycles: 540,
+            flag_set_cycles: 180,
+            events: &events,
+            stalls: &[],
+            hb: &[],
+            spans: &[],
+            rounds: &[],
+            finale: finale(400, 100),
+        };
+        let r = analyze(&input).unwrap();
+        assert_eq!(r.summary.makespan, 400);
+        assert_eq!(r.summary.launch, 100);
+        assert_eq!(r.summary.busy, 300);
+        assert_eq!(r.segments.len(), 2);
+        let wi = &r.summary.what_ifs;
+        assert_eq!(wi.len(), 3);
+        assert!(wi.iter().all(|w| w.predicted == 400 - w.saved));
+    }
+
+    #[test]
+    fn flag_wire_crosses_cores() {
+        // Producer (core 0 scalar) sets at 280; wire lands on core 1 at
+        // 820; consumer vec runs [820, 900]. Consumer polled [100, 280]
+        // then stalled on the flag.
+        let events = [
+            busy(0, 0, EngineKind::Scalar, 100, 280),
+            busy(0, 1, EngineKind::Scalar, 100, 280),
+            busy(0, 1, EngineKind::Vec, 820, 900),
+        ];
+        let stalls = [
+            stall(0, 1, EngineKind::Scalar, StallCause::Flag, 280, 820),
+            stall(0, 1, EngineKind::Vec, StallCause::Dependency, 100, 820),
+        ];
+        let hb = [
+            HbEvent {
+                block: 0,
+                core: 0,
+                time: 280,
+                what: "CrossCoreSetFlag",
+                action: HbAction::FlagSet { id: 3, token: 0 },
+            },
+            HbEvent {
+                block: 0,
+                core: 1,
+                time: 820,
+                what: "CrossCoreWaitFlag",
+                action: HbAction::FlagWait { id: 3, token: 0 },
+            },
+        ];
+        let input = CritInput {
+            cycles: 900,
+            origin: 100,
+            flag_wait_cycles: 540,
+            flag_set_cycles: 180,
+            events: &events,
+            stalls: &stalls,
+            hb: &hb,
+            spans: &[],
+            rounds: &[],
+            finale: finale(900, 100),
+        };
+        let r = analyze(&input).unwrap();
+        assert_eq!(r.summary.flag_wire, 540);
+        // The producer's 180-cycle set instruction is flag overhead.
+        assert_eq!(r.summary.flag_instr, 180);
+        assert_eq!(
+            r.summary.launch + r.summary.busy + r.summary.flag_wire,
+            r.summary.makespan
+        );
+        let free = &r.summary.what_ifs[0];
+        assert_eq!(free.name, "free_flags");
+        assert_eq!(free.saved, 540 + 180);
+    }
+
+    #[test]
+    fn barrier_round_contributes_release_and_hbm() {
+        // One block: busy [100, 300] (poll), round resolves at
+        // max(300, bw 500) + 50 = 550; post-barrier busy [550, 600].
+        let events = [
+            busy(0, 0, EngineKind::Scalar, 100, 300),
+            busy(0, 0, EngineKind::Vec, 550, 600),
+        ];
+        let stalls = [stall(0, 0, EngineKind::Vec, StallCause::Barrier, 300, 550)];
+        let rounds = [RoundRecord {
+            all_set: 250,
+            ready_max: 300,
+            seg_start: 100,
+            seg_bytes: 4096,
+            bw_bound: 500,
+            release_cost: 50,
+            resolved: 550,
+        }];
+        let input = CritInput {
+            cycles: 600,
+            origin: 100,
+            flag_wait_cycles: 540,
+            flag_set_cycles: 180,
+            events: &events,
+            stalls: &stalls,
+            hb: &[],
+            spans: &[],
+            rounds: &rounds,
+            finale: FinalRecord {
+                max_local: 600,
+                seg_start: 550,
+                seg_bytes: 0,
+                bw_bound: 550,
+                end: 600,
+            },
+        };
+        let r = analyze(&input).unwrap();
+        assert_eq!(r.summary.barrier_release, 50);
+        assert_eq!(r.summary.hbm, 400); // [100, 500] stretched segment
+        assert_eq!(r.summary.launch, 100);
+        assert_eq!(r.summary.busy, 50); // only the post-barrier work
+        assert_eq!(
+            r.summary.launch + r.summary.busy + r.summary.barrier_release + r.summary.hbm,
+            600
+        );
+        assert_eq!(r.summary.what_ifs[1].name, "infinite_hbm");
+        assert_eq!(r.summary.what_ifs[1].saved, 400);
+    }
+
+    #[test]
+    fn unexplained_boundary_is_a_violation() {
+        // The lane ends at 350 but the report claims 400, and nothing
+        // justifies cycle 400.
+        let events = [busy(0, 1, EngineKind::Vec, 100, 350)];
+        let input = CritInput {
+            cycles: 400,
+            origin: 100,
+            flag_wait_cycles: 540,
+            flag_set_cycles: 180,
+            events: &events,
+            stalls: &[],
+            hb: &[],
+            spans: &[],
+            rounds: &[],
+            finale: finale(400, 100),
+        };
+        let err = analyze(&input).unwrap_err();
+        assert!(matches!(err, SimError::AccountingViolation { .. }));
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let events = [busy(0, 1, EngineKind::Vec, 100, 400)];
+        let input = CritInput {
+            cycles: 400,
+            origin: 100,
+            flag_wait_cycles: 540,
+            flag_set_cycles: 180,
+            events: &events,
+            stalls: &[],
+            hb: &[],
+            spans: &[],
+            rounds: &[],
+            finale: finale(400, 100),
+        };
+        let r = analyze(&input).unwrap();
+        let js = r.summary.to_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"makespan\":400"));
+        assert!(js.contains("\"what_ifs\":["));
+        assert!(js.contains("\"lookback_chain_share\":"));
+        let full = r.to_json(8);
+        assert!(full.contains("\"top_segments\":["));
+        assert!(full.contains("\"class\":\"busy\""));
+    }
+}

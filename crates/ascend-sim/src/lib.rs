@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chip;
+pub mod critpath;
 pub mod engine;
 pub mod error;
 pub mod hb;
@@ -61,6 +62,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use chip::ChipSpec;
+pub use critpath::{CritInput, CritReport, CritSummary, PathSeg, SegClass, WhatIf};
 pub use engine::EngineKind;
 pub use error::{SimError, SimResult};
 pub use hb::{Diagnostic, Severity};

@@ -43,6 +43,7 @@
 //!   exactly (audited by `simcheck`), while contention is reported on the
 //!   side.
 
+use crate::critpath::CritReport;
 use crate::engine::EngineKind;
 use crate::timeline::EventTime;
 use crate::trace::{hb_events_json, json_escape, HbEvent, TraceEvent};
@@ -310,6 +311,9 @@ pub struct KernelProfile {
     /// Happens-before events (GM access ranges, flag/queue edges, barrier
     /// rounds) consumed by the schedule analyzer ([`crate::hb`]).
     pub hb_events: Vec<HbEvent>,
+    /// The launch's extracted critical path ([`crate::critpath`]):
+    /// segments tiling `[0, cycles]` plus attribution and what-ifs.
+    pub critical_path: Option<CritReport>,
 }
 
 /// Profiles collected from one or more kernel launches (see
@@ -448,10 +452,57 @@ impl Profile {
                     &mut first,
                 );
             }
+            // On-critical-path marking: one `critical` thread per block
+            // (pid 0 hosts launch-wide segments — launch latency, HBM
+            // stretches, barrier releases) so the path reads as a
+            // contiguous chain across the trace.
+            if let Some(cp) = &k.critical_path {
+                for s in &cp.segments {
+                    if s.is_empty() {
+                        continue;
+                    }
+                    let name = match (s.class, s.engine) {
+                        (crate::critpath::SegClass::Busy, Some(e)) => {
+                            format!("crit:{}:{}", s.class.label(), e.name())
+                        }
+                        _ => format!("crit:{}", s.class.label()),
+                    };
+                    emit(
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"critical\",\"ph\":\"X\",\
+                             \"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":\"critical\",\
+                             \"args\":{{\"phase\":\"{}\"}}}}",
+                            name,
+                            to_us(s.start),
+                            dur_us(s.start, s.end),
+                            s.block.unwrap_or(0),
+                            json_escape(s.phase),
+                        ),
+                        &mut first,
+                    );
+                }
+            }
             // Lay the next kernel out after this one with a small gap.
             base_us += k.cycles as f64 / (ghz * 1e3) * 1.05 + 1.0;
         }
-        out.push_str("],\"schema\":\"ascend-trace/v1\",\"hbEvents\":");
+        out.push_str("],\"schema\":\"ascend-trace/v1\",\"criticalPaths\":[");
+        let mut first_cp = true;
+        for k in &self.kernels {
+            if let Some(cp) = &k.critical_path {
+                if !first_cp {
+                    out.push(',');
+                }
+                first_cp = false;
+                // Prepend the kernel name to the path object.
+                let body = cp.to_json(32);
+                out.push_str(&format!(
+                    "{{\"kernel\":\"{}\",{}",
+                    json_escape(&k.name),
+                    &body[1..]
+                ));
+            }
+        }
+        out.push_str("],\"hbEvents\":");
         let all_hb: Vec<HbEvent> = self
             .kernels
             .iter()

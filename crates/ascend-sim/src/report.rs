@@ -1,6 +1,7 @@
 //! Kernel execution reports.
 
 use crate::chip::ChipSpec;
+use crate::critpath::CritSummary;
 use crate::engine::EngineKind;
 use crate::prof::StallTally;
 use crate::trace::json_escape;
@@ -62,6 +63,11 @@ pub struct KernelReport {
     /// `SyncAll`), parallel to `barrier_waits`. The kernel-end entry is
     /// always zero.
     pub flag_waits: Vec<u64>,
+    /// Critical-path attribution and what-ifs (see
+    /// [`crate::critpath`]), populated on Full-validation launches;
+    /// `None` for unaudited launches and [`KernelReport::sequential`]
+    /// merges (a critical path does not compose across launches).
+    pub critical_path: Option<CritSummary>,
 }
 
 impl KernelReport {
@@ -204,20 +210,24 @@ impl KernelReport {
             stalls,
             barrier_waits,
             flag_waits,
+            critical_path: None,
         }
     }
 
     /// Renders the report as one JSON object with a stable schema
-    /// (`bench-scan/v3`): identification (`name`, `blocks`), totals
+    /// (`bench-scan/v4`): identification (`name`, `blocks`), totals
     /// (`cycles`, `time_us`, traffic and byte counters, `working_set`,
     /// `sync_rounds`, `barrier_wait_cycles`, `flag_wait_cycles`),
     /// derived rates (`gbps`, `traffic_gbps` — DRAM-attributed and
     /// clamped to the HBM peak — `l2_traffic_gbps`, `gelems`,
     /// `fraction_of_peak` — `0.0` when the underlying denominator is
-    /// zero), and a per-engine map `engines` keyed by engine name with
+    /// zero), a per-engine map `engines` keyed by engine name with
     /// `busy_cycles`, `instructions`, `utilization`, and the stall
     /// breakdown (`stall_dependency`, `stall_contention`,
-    /// `stall_barrier`, `stall_flag`).
+    /// `stall_barrier`, `stall_flag`), and — when the launch was
+    /// audited — a `critical_path` object ([`CritSummary::to_json`]:
+    /// class attribution summing to the makespan, share fractions,
+    /// phases, and the what-if table).
     pub fn to_json(&self, spec: &ChipSpec) -> String {
         fn jf(v: f64) -> String {
             if v.is_finite() {
@@ -280,13 +290,17 @@ impl KernelReport {
                 self.stalls.flag[i],
             ));
         }
+        let critical_path = match &self.critical_path {
+            Some(cp) => format!(",\"critical_path\":{}", cp.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\"name\":\"{}\",\"blocks\":{},\"cycles\":{},\"time_us\":{},\
              \"gbps\":{},\"traffic_gbps\":{},\"l2_traffic_gbps\":{},\"gelems\":{},\
              \"fraction_of_peak\":{},\"bytes_read\":{},\"bytes_written\":{},\
              \"useful_bytes\":{},\"elements\":{},\"working_set\":{},\
              \"sync_rounds\":{},\"barrier_wait_cycles\":[{}],\"flag_wait_cycles\":[{}],\
-             \"engines\":{{{}}}}}",
+             \"engines\":{{{}}}{}}}",
             json_escape(&self.name),
             self.blocks,
             self.cycles,
@@ -305,6 +319,7 @@ impl KernelReport {
             barrier_waits,
             flag_waits,
             engines,
+            critical_path,
         )
     }
 }
@@ -330,6 +345,7 @@ mod tests {
             stalls: StallTally::default(),
             barrier_waits: vec![100, 50],
             flag_waits: vec![30, 0],
+            critical_path: None,
         }
     }
 

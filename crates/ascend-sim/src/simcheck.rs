@@ -30,6 +30,7 @@
 //! [`GlobalMemory`]: crate::mem::GlobalMemory
 
 use crate::chip::ChipSpec;
+use crate::critpath::CritReport;
 use crate::engine::EngineKind;
 use crate::error::{SimError, SimResult};
 use crate::hb::{self, Severity};
@@ -292,6 +293,18 @@ pub fn audit_schedule(events: &[HbEvent]) -> SimResult<()> {
     Ok(())
 }
 
+/// Extracts the launch's critical path and asserts the **makespan
+/// identity**: the backward causal walk over the recorded busy/stall
+/// intervals, flag edges, and scheduler round records must produce a
+/// contiguous segment chain covering exactly `[0, cycles]`. Any
+/// unexplained boundary means the timing model and its own records
+/// disagree, and the launch fails with
+/// [`SimError::AccountingViolation`]. Returns the extracted path so
+/// the caller can attach it to the report/profile.
+pub fn audit_critical_path(input: &crate::critpath::CritInput<'_>) -> SimResult<CritReport> {
+    crate::critpath::analyze(input)
+}
+
 /// Audits a finished [`KernelReport`] against the chip spec and the
 /// observed global-memory counter deltas:
 ///
@@ -547,6 +560,7 @@ mod tests {
             stalls: crate::prof::StallTally::default(),
             barrier_waits: Vec::new(),
             flag_waits: Vec::new(),
+            critical_path: None,
         };
         assert!(audit_report(&report, &spec, 512, 256).is_ok());
 
@@ -590,6 +604,7 @@ mod tests {
             stalls: crate::prof::StallTally::default(),
             barrier_waits: Vec::new(),
             flag_waits: Vec::new(),
+            critical_path: None,
         };
         // Fill every engine's partition exactly: busy + dep + barrier +
         // flag must equal cores_with_engine x span.

@@ -164,6 +164,45 @@ enum BlockState {
     Finishing(EventTime),
 }
 
+/// Everything the scheduler decided when resolving one barrier round,
+/// recorded so the critical-path analyzer (`critpath`) can re-derive —
+/// and justify — the resolved release time from its inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Cycle the last arrival (`CrossCoreSetFlag`) landed grid-wide.
+    pub all_set: EventTime,
+    /// Slowest block's release-poll completion (max `ready`).
+    pub ready_max: EventTime,
+    /// Segment start (the previous round's `resolved`, or the launch
+    /// origin for round 0).
+    pub seg_start: EventTime,
+    /// GM bytes moved during the segment ending at this barrier.
+    pub seg_bytes: u64,
+    /// Bandwidth bound for the segment: `seg_start + gm_bound_cycles`.
+    pub bw_bound: EventTime,
+    /// Barrier release latency added on top of `max(ready_max, bw_bound)`.
+    pub release_cost: u64,
+    /// The barrier release time: `max(ready_max, bw_bound) + release_cost`.
+    pub resolved: EventTime,
+}
+
+/// The kernel-end alignment decision, mirror of [`RoundRecord`] for the
+/// final (flag-less) round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FinalRecord {
+    /// Slowest block's local completion time.
+    pub max_local: EventTime,
+    /// Start of the final segment (last barrier's `resolved`, or the
+    /// launch origin when the kernel has no barriers).
+    pub seg_start: EventTime,
+    /// GM bytes moved during the final segment.
+    pub seg_bytes: u64,
+    /// Bandwidth bound for the final segment.
+    pub bw_bound: EventTime,
+    /// The kernel-end time: `max(max_local, bw_bound)`.
+    pub end: EventTime,
+}
+
 struct SchedState {
     /// Corrected global clock at the end of the last resolved round.
     seg_start: EventTime,
@@ -178,6 +217,10 @@ struct SchedState {
     turn: Option<usize>,
     /// `(all_set, resolved)` per resolved barrier round.
     round_result: Vec<(EventTime, EventTime)>,
+    /// Full decision record per resolved barrier round (critpath input).
+    round_records: Vec<RoundRecord>,
+    /// Full decision record of the kernel-end alignment.
+    final_record: Option<FinalRecord>,
     /// Barrier release latency for the round being gathered.
     pending_cost: u64,
     /// Completed rounds (barriers + the final kernel-end alignment).
@@ -245,6 +288,8 @@ impl Scheduler {
                 status: vec![BlockState::Pending; blocks],
                 turn: Some(0),
                 round_result: Vec::new(),
+                round_records: Vec::new(),
+                final_record: None,
                 pending_cost: 0,
                 rounds: 0,
                 round_waits: Vec::new(),
@@ -417,6 +462,15 @@ impl Scheduler {
             }
         }
         st.round_result.push((all_set, resolved));
+        st.round_records.push(RoundRecord {
+            all_set,
+            ready_max,
+            seg_start: st.seg_start,
+            seg_bytes,
+            bw_bound,
+            release_cost: st.pending_cost,
+            resolved,
+        });
         st.seg_start = resolved;
         st.bytes_mark = gm.bytes_read() + gm.bytes_written();
         st.pending_cost = 0;
@@ -446,6 +500,13 @@ impl Scheduler {
                 _ => 0,
             })
             .sum();
+        st.final_record = Some(FinalRecord {
+            max_local,
+            seg_start: st.seg_start,
+            seg_bytes,
+            bw_bound,
+            end,
+        });
         st.seg_start = end;
         st.bytes_mark = gm.bytes_read() + gm.bytes_written();
         st.rounds += 1;
@@ -476,6 +537,17 @@ impl Scheduler {
     /// always zero: the runtime aligns finished blocks without flags.
     pub fn flag_waits(&self) -> Vec<u64> {
         self.lock().flag_waits.clone()
+    }
+
+    /// The full decision record of every resolved barrier round, in
+    /// round order (critical-path analyzer input).
+    pub fn round_records(&self) -> Vec<RoundRecord> {
+        self.lock().round_records.clone()
+    }
+
+    /// The kernel-end alignment record, once the launch has resolved.
+    pub fn final_record(&self) -> Option<FinalRecord> {
+        self.lock().final_record
     }
 
     // ---------------------------------------------------------------

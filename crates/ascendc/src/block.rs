@@ -271,8 +271,7 @@ where
     // have their own (empty) TLS, so the decision is made here and the
     // profile is submitted here after the join.
     let collector = prof::collector_active();
-    let profiled = trace || collector;
-    let recording = profiled || spec.validation.audits();
+    let recording = trace || collector || spec.validation.audits();
 
     // Runs one block and harvests its timelines. The block first waits
     // for its turn (begin() also yields its start origin — the launch
@@ -303,7 +302,10 @@ where
                     v.enable_hb();
                 }
             }
-            if profiled {
+            if recording {
+                // Spans and stall intervals also feed the critical-path
+                // audit, so they are recorded whenever audits are on —
+                // not only when a profile collector is attached.
                 ctx.spans.enable();
                 ctx.cube.enable_profiling();
                 for v in &mut ctx.vecs {
@@ -350,7 +352,7 @@ where
                     ));
                     hb_events.extend(core.take_hb(block_idx, ci as u32));
                 }
-                if profiled {
+                if recording {
                     stall_events.extend(core.timeline().recorded_stalls().iter().map(
                         |&(engine, cause, start, end)| StallEvent {
                             block: block_idx,
@@ -436,7 +438,7 @@ where
         counters.extend(o.counters);
         hb_events.extend(o.hb_events);
     }
-    let report = KernelReport {
+    let mut report = KernelReport {
         name: name.to_string(),
         blocks: block_dim,
         cycles,
@@ -452,6 +454,7 @@ where
         stalls,
         barrier_waits,
         flag_waits,
+        critical_path: None,
     };
     if spec.validation.audits() {
         simcheck::audit_trace_events(&events)?;
@@ -473,6 +476,33 @@ where
         // offline `simlint` CLI.
         simcheck::audit_schedule(&hb_events)?;
     }
+    // Critical-path extraction doubles as the makespan-identity audit:
+    // the backward causal walk must explain every cycle of the reported
+    // makespan from the recorded events, stalls, flag edges and
+    // scheduler round records. Runs whenever the raw records exist
+    // (audits or an attached collector/trace).
+    let mut critical: Option<ascend_sim::critpath::CritReport> = None;
+    if recording {
+        let finale = sync
+            .final_record()
+            .expect("launch resolved without a final alignment record");
+        let rounds = sync.round_records();
+        let input = ascend_sim::critpath::CritInput {
+            cycles,
+            origin: spec.launch_cycles,
+            flag_wait_cycles: spec.flag_wait_cycles,
+            flag_set_cycles: spec.flag_set_cycles,
+            events: &events,
+            stalls: &stall_events,
+            hb: &hb_events,
+            spans: &spans,
+            rounds: &rounds,
+            finale,
+        };
+        let crit = simcheck::audit_critical_path(&input)?;
+        report.critical_path = Some(crit.summary.clone());
+        critical = Some(crit);
+    }
     if collector {
         let profile_events = if trace {
             events.clone()
@@ -490,6 +520,7 @@ where
             counters,
             stalls: report.stalls.clone(),
             hb_events,
+            critical_path: critical,
         });
     }
     if !trace {

@@ -1,0 +1,198 @@
+//! `critpath` — critical-path inspection over exported kernel traces.
+//!
+//! ```text
+//! critpath [--top K] <trace.json>...
+//! ```
+//!
+//! Each argument is a trace produced by the `trace` binary (an
+//! `ascend-trace/v1` document). Every audited launch embeds a
+//! `criticalPaths` section: the longest weighted path through the
+//! happens-before event graph, cut into contiguous segments that tile
+//! `[0, cycles]` (the makespan identity). For every kernel this tool
+//! prints the class attribution (busy / HBM / flag wires / look-back
+//! chain / barrier release / launch), the phase breakdown, the top-K
+//! longest segments, and the COZ-style what-if table (predicted cycles
+//! with one cost class removed).
+//!
+//! The invariants the simulator asserts at record time are re-checked
+//! here against the serialized numbers: the attribution must sum to the
+//! makespan, every share must lie in `[0, 1]`, and each what-if
+//! prediction must not exceed the makespan.
+//!
+//! Exit status: `0` all files clean, `1` an invariant fails, `2` usage,
+//! I/O, malformed document, or a trace with no `criticalPaths` section.
+
+use bench::{json_array_objects, json_num_field, json_str_field, json_sub_object};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut top = 8usize;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--top" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => top = k,
+                None => usage("--top needs an integer argument"),
+            }
+        } else if a.starts_with("--") {
+            usage(&format!("unknown option {a}"));
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        usage("no trace files given");
+    }
+
+    let mut violations = 0usize;
+    for file in &files {
+        let doc = match std::fs::read_to_string(file) {
+            Ok(d) => d,
+            Err(e) => fail2(&format!("{file}: {e}")),
+        };
+        let paths = match json_array_objects(&doc, "criticalPaths") {
+            Ok(p) => p,
+            Err(e) => fail2(&format!(
+                "{file}: {e} (traces come from the `trace` binary)"
+            )),
+        };
+        if paths.is_empty() {
+            fail2(&format!(
+                "{file}: empty criticalPaths section — no audited launch in this trace"
+            ));
+        }
+        for cp in paths {
+            match check_one(file, cp, top) {
+                Ok(()) => {}
+                Err(e) => {
+                    eprintln!("critpath: {e}");
+                    violations += 1;
+                }
+            }
+        }
+    }
+    if violations > 0 {
+        eprintln!("critpath: {violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("critpath: {msg}");
+    eprintln!("usage: critpath [--top K] <trace.json>...");
+    eprintln!("  traces come from the `trace` binary (ascend-trace/v1 documents)");
+    std::process::exit(2);
+}
+
+fn fail2(msg: &str) -> ! {
+    eprintln!("critpath: {msg}");
+    std::process::exit(2);
+}
+
+/// Prints one kernel's critical-path report and re-checks the summary
+/// invariants; returns `Err` on any violation.
+fn check_one(file: &str, cp: &str, top: usize) -> Result<(), String> {
+    let kernel = json_str_field(cp, "kernel").unwrap_or("<unnamed>");
+    let ctx = |msg: String| format!("{file}: {kernel}: {msg}");
+    let summary = json_sub_object(cp, "summary")
+        .ok_or_else(|| ctx("critical path entry has no summary object".into()))?;
+    let makespan = json_num_field(summary, "makespan").map_err(&ctx)?;
+
+    let classes = [
+        ("launch", "launch"),
+        ("busy", "busy"),
+        ("flag_wire", "flag wire"),
+        ("chain_wire", "look-back chain wire"),
+        ("barrier_release", "barrier release"),
+        ("hbm", "HBM stretch"),
+    ];
+    println!("{file}: {kernel}: makespan {makespan:.0} cycles");
+    let mut sum = 0.0;
+    for (key, label) in classes {
+        let v = json_num_field(summary, key).map_err(&ctx)?;
+        let share = json_num_field(summary, &format!("{key}_share")).map_err(&ctx)?;
+        if !(-1e-6..=1.0 + 1e-6).contains(&share) {
+            return Err(ctx(format!("{key}_share {share} outside [0, 1]")));
+        }
+        sum += v;
+        if v > 0.0 {
+            println!("  {label:<22} {v:>12.0}  {:>5.1}%", share * 100.0);
+        }
+    }
+    if (sum - makespan).abs() > 1e-6 {
+        return Err(ctx(format!(
+            "attribution sums to {sum}, not the makespan {makespan} — identity violated"
+        )));
+    }
+    let chain = json_num_field(summary, "lookback_chain").map_err(&ctx)?;
+    let chain_share = json_num_field(summary, "lookback_chain_share").map_err(&ctx)?;
+    if !(-1e-6..=1.0 + 1e-6).contains(&chain_share) {
+        return Err(ctx(format!(
+            "lookback_chain_share {chain_share} outside [0, 1]"
+        )));
+    }
+    println!(
+        "  {:<22} {chain:>12.0}  {:>5.1}%   (wire + tagged instructions)",
+        "look-back chain total",
+        chain_share * 100.0
+    );
+
+    if let Ok(phases) = json_array_objects(summary, "phases") {
+        for p in phases {
+            let name = json_str_field(p, "name").unwrap_or("?");
+            let cycles = json_num_field(p, "cycles").unwrap_or(0.0);
+            let share = json_num_field(p, "share").unwrap_or(0.0);
+            println!("  phase {name:<26} {cycles:>12.0}  {:>5.1}%", share * 100.0);
+        }
+    }
+
+    let segs = json_array_objects(cp, "top_segments").map_err(&ctx)?;
+    println!(
+        "  top {} segments (of {}):",
+        top.min(segs.len()),
+        segs.len()
+    );
+    let mut ranked: Vec<(&str, f64, f64, f64)> = segs
+        .iter()
+        .map(|s| {
+            (
+                json_str_field(s, "class").unwrap_or("?"),
+                json_num_field(s, "start").unwrap_or(0.0),
+                json_num_field(s, "cycles").unwrap_or(0.0),
+                json_num_field(s, "block").unwrap_or(-1.0),
+            )
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
+    for (class, start, cycles, block) in ranked.into_iter().take(top) {
+        let b = if block < 0.0 {
+            "     -".to_string()
+        } else {
+            format!("blk {block:>2.0}")
+        };
+        println!("    {class:<14} {b}  @{start:>10.0}  {cycles:>10.0} cycles");
+    }
+
+    let what_ifs = json_array_objects(summary, "what_ifs").map_err(&ctx)?;
+    if what_ifs.len() < 2 {
+        return Err(ctx(format!(
+            "only {} what-if prediction(s), need at least 2",
+            what_ifs.len()
+        )));
+    }
+    println!("  what-ifs:");
+    for w in what_ifs {
+        let name = json_str_field(w, "name").unwrap_or("?");
+        let saved = json_num_field(w, "saved_cycles").map_err(&ctx)?;
+        let predicted = json_num_field(w, "predicted_cycles").map_err(&ctx)?;
+        let speedup = json_num_field(w, "speedup").unwrap_or(0.0);
+        if !(-1e-6..=makespan + 1e-6).contains(&predicted) {
+            return Err(ctx(format!(
+                "what-if {name} predicts {predicted} cycles outside [0, makespan]"
+            )));
+        }
+        println!("    {name:<16} saves {saved:>10.0} -> {predicted:>10.0} cycles ({speedup:.2}x)");
+    }
+    Ok(())
+}

@@ -10,13 +10,15 @@
 //! match the paper's ranges where feasible.
 //!
 //! `--json` skips the tables and instead writes `BENCH_scan.json`: one
-//! machine-readable `bench-scan/v3` document with a full
+//! machine-readable `bench-scan/v4` document with a full
 //! [`KernelReport`] (cycles, bandwidth, per-engine busy/stall
-//! breakdown, per-round barrier waits) for every paper scan kernel at a
-//! fixed large input length, plus a `traffic` section comparing MCScan
-//! and ScanC byte counts across the Fig. 3 size sweep. The document is
-//! validated with [`bench::validate_bench_json`] (syntax + sanity
-//! bounds) before it is written.
+//! breakdown, per-round barrier waits, critical-path attribution with
+//! what-if predictions) for every paper scan kernel at a fixed large
+//! input length, plus a `traffic` section comparing MCScan and ScanC
+//! byte counts across the Fig. 3 size sweep. The document is validated
+//! with [`bench::validate_bench_json`] (syntax + sanity bounds,
+//! including the makespan identity on every `critical_path` section)
+//! before it is written.
 
 use ascend_sim::{ChipSpec, KernelReport};
 use ascendc::GlobalTensor;
@@ -100,7 +102,7 @@ fn us(r: &KernelReport) -> String {
 }
 
 /// `--json`: runs every paper scan kernel once at a fixed input length
-/// and writes the structured `bench-scan/v3` report to `BENCH_scan.json`.
+/// and writes the structured `bench-scan/v4` report to `BENCH_scan.json`.
 fn json_report(spec: &ChipSpec, quick: bool) {
     let n: usize = if quick { 1 << 18 } else { 1 << 22 };
     let batch = 8usize;
@@ -206,7 +208,7 @@ fn json_report(spec: &ChipSpec, quick: bool) {
 
     let kernels: Vec<String> = reports.iter().map(|r| r.to_json(spec)).collect();
     let doc = format!(
-        "{{\"schema\":\"bench-scan/v3\",\"chip\":{{\"name\":\"{}\",\"ai_cores\":{},\
+        "{{\"schema\":\"bench-scan/v4\",\"chip\":{{\"name\":\"{}\",\"ai_cores\":{},\
          \"clock_ghz\":{},\"hbm_gbps\":{:.1}}},\"n\":{},\"s\":{},\"kernels\":[{}],\
          \"traffic\":[{}]}}\n",
         spec.name,
@@ -218,7 +220,7 @@ fn json_report(spec: &ChipSpec, quick: bool) {
         kernels.join(","),
         traffic_rows.join(",")
     );
-    validate_bench_json(&doc, spec).expect("BENCH_scan.json must pass the v3 sanity bounds");
+    validate_bench_json(&doc, spec).expect("BENCH_scan.json must pass the v4 sanity bounds");
     std::fs::write("BENCH_scan.json", &doc).expect("write BENCH_scan.json");
     println!(
         "wrote BENCH_scan.json ({} kernels, {} bytes)",
@@ -232,6 +234,26 @@ fn json_report(spec: &ChipSpec, quick: bool) {
             r.time_us(),
             r.gbps(),
             r.fraction_of_peak(spec) * 100.0
+        );
+    }
+    println!("critical paths (share of makespan on the critical path, per class):");
+    for r in &reports {
+        let Some(cp) = &r.critical_path else { continue };
+        let m = cp.makespan.max(1) as f64;
+        let best = cp
+            .what_ifs
+            .iter()
+            .max_by_key(|w| w.saved)
+            .map(|w| format!("{} -> {:.2}x", w.name, m / (w.predicted.max(1) as f64)))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  {:<18} busy {:>4.1}%  hbm {:>4.1}%  flags {:>4.1}%  chain {:>4.1}%  best what-if: {}",
+            r.name,
+            cp.busy as f64 / m * 100.0,
+            cp.hbm as f64 / m * 100.0,
+            (cp.flag_wire + cp.flag_instr) as f64 / m * 100.0,
+            cp.lookback_share() * 100.0,
+            best
         );
     }
 }

@@ -1,7 +1,7 @@
 //! `simlint` — offline happens-before analysis of kernel schedules.
 //!
 //! ```text
-//! simlint <trace.json>...
+//! simlint [--json] <trace.json>...
 //! ```
 //!
 //! Each argument is a trace produced by the `trace` binary (or any
@@ -16,6 +16,11 @@
 //! * **flag-leak / queue-leak / queue-unbalanced / alloc-leak /
 //!   dead-transfer** — schedule lints (warnings).
 //!
+//! `--json` replaces the human-readable report with one machine-readable
+//! `simlint/v1` document on stdout (per-file diagnostics plus totals);
+//! the exit status is unchanged, so scripts can both gate on it and
+//! archive the findings.
+//!
 //! Exit status is nonzero if *any* diagnostic (error or warning) fires
 //! in any file — CI runs this over every shipped kernel's trace, so a
 //! clean tree means every schedule is provably ordered and leak-free.
@@ -25,17 +30,20 @@
 //! produce spurious cross-kernel races.
 
 use ascend_sim::hb;
-use ascend_sim::trace::parse_hb_json;
+use ascend_sim::trace::{json_escape, parse_hb_json};
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
     if files.is_empty() {
-        eprintln!("usage: simlint <trace.json>...");
+        eprintln!("usage: simlint [--json] <trace.json>...");
         eprintln!("  traces come from the `trace` binary (ascend-trace/v1 documents)");
         std::process::exit(2);
     }
 
     let mut total = 0usize;
+    let mut file_objs: Vec<String> = Vec::new();
     for file in &files {
         let doc = match std::fs::read_to_string(file) {
             Ok(d) => d,
@@ -52,7 +60,18 @@ fn main() {
             }
         };
         let diags = hb::analyze(&events);
-        if diags.is_empty() {
+        if json {
+            let rendered: Vec<String> = diags
+                .iter()
+                .map(|d| format!("\"{}\"", json_escape(&d.to_string())))
+                .collect();
+            file_objs.push(format!(
+                "{{\"file\":\"{}\",\"hb_events\":{},\"diagnostics\":[{}]}}",
+                json_escape(file),
+                events.len(),
+                rendered.join(",")
+            ));
+        } else if diags.is_empty() {
             println!("{file}: clean ({} hb events)", events.len());
         } else {
             println!("{file}: {} diagnostic(s)", diags.len());
@@ -63,6 +82,13 @@ fn main() {
         total += diags.len();
     }
 
+    if json {
+        println!(
+            "{{\"schema\":\"simlint/v1\",\"files\":[{}],\"total_diagnostics\":{}}}",
+            file_objs.join(","),
+            total
+        );
+    }
     if total > 0 {
         eprintln!(
             "simlint: {total} diagnostic(s) across {} file(s)",

@@ -412,7 +412,7 @@ impl JsonChecker<'_> {
     }
 }
 
-/// Semantic sanity bounds for a `bench-scan/v3` document on top of the
+/// Semantic sanity bounds for a `bench-scan/v4` document on top of the
 /// syntactic [`validate_json`] check. Every kernel entry must satisfy:
 ///
 /// * `fraction_of_peak` and every per-engine `utilization` in `[0, 1]`;
@@ -420,14 +420,20 @@ impl JsonChecker<'_> {
 /// * per engine, the idle-stall sum (`stall_dependency + stall_barrier +
 ///   stall_flag`) at most `cores × (cycles − launch_cycles)` — no core
 ///   can idle longer than it exists (`stall_contention` overlaps busy
-///   time and is exempt).
+///   time and is exempt);
+/// * when a `critical_path` section is present (every audited launch):
+///   its `makespan` equals the kernel's `cycles`, the class attribution
+///   (`launch + busy + flag_wire + chain_wire + barrier_release + hbm`)
+///   sums to the makespan exactly, every share fraction lies in
+///   `[0, 1]`, and at least two what-if predictions are reported, each
+///   within `[0, makespan]`.
 ///
 /// These are exactly the invariants that historically broke silently:
 /// runaway contention watermarks and over-peak traffic attribution.
 pub fn validate_bench_json(doc: &str, spec: &ChipSpec) -> Result<(), String> {
     validate_json(doc)?;
-    if !doc.contains("\"schema\":\"bench-scan/v3\"") {
-        return Err("document does not declare schema bench-scan/v3".into());
+    if !doc.contains("\"schema\":\"bench-scan/v4\"") {
+        return Err("document does not declare schema bench-scan/v4".into());
     }
     let eps = 1e-6;
     let hbm_gbps = spec.hbm_bytes_per_sec / 1e9;
@@ -470,6 +476,66 @@ pub fn validate_bench_json(doc: &str, spec: &ChipSpec) -> Result<(), String> {
                 )));
             }
         }
+        if let Some(cp) = json_sub_object(k, "critical_path") {
+            let makespan = json_num_field(cp, "makespan").map_err(&ctx)?;
+            if (makespan - cycles).abs() > eps {
+                return Err(ctx(format!(
+                    "critical_path makespan {makespan} != cycles {cycles}"
+                )));
+            }
+            let mut sum = 0.0;
+            for class in [
+                "launch",
+                "busy",
+                "flag_wire",
+                "chain_wire",
+                "barrier_release",
+                "hbm",
+            ] {
+                sum += json_num_field(cp, class).map_err(&ctx)?;
+            }
+            if (sum - makespan).abs() > eps {
+                return Err(ctx(format!(
+                    "critical_path attribution sums to {sum}, not the makespan {makespan}"
+                )));
+            }
+            for share in [
+                "launch_share",
+                "busy_share",
+                "flag_wire_share",
+                "chain_wire_share",
+                "barrier_release_share",
+                "hbm_share",
+                "lookback_chain_share",
+            ] {
+                let v = json_num_field(cp, share).map_err(&ctx)?;
+                if !(-eps..=1.0 + eps).contains(&v) {
+                    return Err(ctx(format!("critical_path {share} {v} outside [0, 1]")));
+                }
+            }
+            let wi = cp
+                .find("\"what_ifs\":[")
+                .map(|i| &cp[i..])
+                .ok_or_else(|| ctx("critical_path has no what_ifs table".into()))?;
+            let mut what_ifs = 0usize;
+            let mut rest = wi;
+            while let Some(i) = rest.find("\"predicted_cycles\":") {
+                rest = &rest[i..];
+                let predicted = json_num_field(rest, "predicted_cycles").map_err(&ctx)?;
+                if !(-eps..=makespan + eps).contains(&predicted) {
+                    return Err(ctx(format!(
+                        "what-if predicted_cycles {predicted} outside [0, makespan]"
+                    )));
+                }
+                what_ifs += 1;
+                rest = &rest["\"predicted_cycles\":".len()..];
+            }
+            if what_ifs < 2 {
+                return Err(ctx(format!(
+                    "critical_path reports {what_ifs} what-ifs, need at least 2"
+                )));
+            }
+        }
     }
     Ok(())
 }
@@ -478,10 +544,18 @@ pub fn validate_bench_json(doc: &str, spec: &ChipSpec) -> Result<(), String> {
 /// top-level objects (brace matching; the document is already known to
 /// be well-formed JSON with no strings containing braces we generate).
 fn json_kernel_objects(doc: &str) -> Result<Vec<&str>, String> {
+    json_array_objects(doc, "kernels")
+}
+
+/// Splits the `"key":[...]` array of a document into its top-level
+/// objects (brace matching; our generated JSON never embeds braces or
+/// brackets inside strings).
+pub fn json_array_objects<'a>(doc: &'a str, key: &str) -> Result<Vec<&'a str>, String> {
+    let pat = format!("\"{key}\":[");
     let start = doc
-        .find("\"kernels\":[")
-        .ok_or("document has no kernels array")?
-        + "\"kernels\":[".len();
+        .find(&pat)
+        .ok_or_else(|| format!("document has no {key} array"))?
+        + pat.len();
     let body = &doc[start..];
     let mut objs = Vec::new();
     let mut depth = 0usize;
@@ -497,7 +571,7 @@ fn json_kernel_objects(doc: &str) -> Result<Vec<&str>, String> {
             '}' => {
                 depth = depth
                     .checked_sub(1)
-                    .ok_or("unbalanced braces in kernels array")?;
+                    .ok_or_else(|| format!("unbalanced braces in {key} array"))?;
                 if depth == 0 {
                     objs.push(&body[obj_start..=i]);
                 }
@@ -510,7 +584,7 @@ fn json_kernel_objects(doc: &str) -> Result<Vec<&str>, String> {
 }
 
 /// Extracts the brace-matched object following `"key":{` inside `obj`.
-fn json_sub_object<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+pub fn json_sub_object<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":{{");
     let start = obj.find(&pat)? + pat.len() - 1;
     let body = &obj[start..];
@@ -532,7 +606,7 @@ fn json_sub_object<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
 
 /// Reads the numeric value of `"key":<number>` inside `obj` (first
 /// occurrence; bench-document keys are unique at their nesting level).
-fn json_num_field(obj: &str, key: &str) -> Result<f64, String> {
+pub fn json_num_field(obj: &str, key: &str) -> Result<f64, String> {
     let pat = format!("\"{key}\":");
     let start = obj
         .find(&pat)
@@ -548,7 +622,7 @@ fn json_num_field(obj: &str, key: &str) -> Result<f64, String> {
 }
 
 /// Reads the string value of `"key":"..."` inside `obj`.
-fn json_str_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+pub fn json_str_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let start = obj.find(&pat)? + pat.len();
     let end = obj[start..].find('"')?;
@@ -682,7 +756,7 @@ mod tests {
 
     fn bench_doc(spec: &ChipSpec, kernel_json: &str) -> String {
         format!(
-            "{{\"schema\":\"bench-scan/v3\",\"chip\":{{\"name\":\"{}\"}},\
+            "{{\"schema\":\"bench-scan/v4\",\"chip\":{{\"name\":\"{}\"}},\
              \"kernels\":[{}],\"traffic\":[]}}",
             spec.name, kernel_json
         )
@@ -702,10 +776,10 @@ mod tests {
     #[test]
     fn validate_bench_json_rejects_wrong_schema() {
         let spec = ChipSpec::tiny();
-        let doc = "{\"schema\":\"bench-scan/v2\",\"kernels\":[]}";
+        let doc = "{\"schema\":\"bench-scan/v3\",\"kernels\":[]}";
         assert!(validate_bench_json(doc, &spec)
             .unwrap_err()
-            .contains("bench-scan/v3"));
+            .contains("bench-scan/v4"));
     }
 
     #[test]
@@ -743,6 +817,59 @@ mod tests {
         assert_ne!(bad, good, "replacement must hit");
         let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
         assert!(err.contains("idle stalls"), "{err}");
+    }
+
+    #[test]
+    fn validate_bench_json_gates_the_critical_path_section() {
+        let spec = ChipSpec::tiny();
+        let gm = fresh_gm(&spec);
+        let data = vec![F16::ONE; 4096];
+        let t = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let report = scan::cumsum_vec_only::<F16>(&spec, &gm, &t, 32, 1)
+            .unwrap()
+            .report;
+        let cp = report
+            .critical_path
+            .as_ref()
+            .expect("audited launch carries a critical path");
+        let good = report.to_json(&spec);
+        validate_bench_json(&bench_doc(&spec, &good), &spec)
+            .expect("audited report passes the v4 gates");
+
+        // Makespan no longer matching the kernel's cycles.
+        let bad = good.replace(
+            &format!("\"makespan\":{}", cp.makespan),
+            &format!("\"makespan\":{}", cp.makespan + 1),
+        );
+        assert_ne!(bad, good, "replacement must hit");
+        let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
+        assert!(err.contains("makespan"), "{err}");
+
+        // Attribution that no longer sums to the makespan.
+        let bad = good.replace(
+            &format!("\"busy\":{}", cp.busy),
+            &format!("\"busy\":{}", cp.busy + 7),
+        );
+        assert_ne!(bad, good, "replacement must hit");
+        let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
+        assert!(err.contains("sums to"), "{err}");
+
+        // A what-if predicting more cycles than the makespan.
+        let w = &cp.what_ifs[0];
+        let bad = good.replace(
+            &format!("\"predicted_cycles\":{}", w.predicted),
+            &format!("\"predicted_cycles\":{}", cp.makespan * 10 + 1),
+        );
+        assert_ne!(bad, good, "replacement must hit");
+        let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
+        assert!(err.contains("predicted_cycles"), "{err}");
+
+        // Fewer than two what-ifs.
+        let start = good.find("\"what_ifs\":[").unwrap();
+        let end = good[start..].find(']').unwrap() + start;
+        let bad = format!("{}\"what_ifs\":[{}", &good[..start], &good[end..]);
+        let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
+        assert!(err.contains("what-ifs"), "{err}");
     }
 
     #[test]

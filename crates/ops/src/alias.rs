@@ -172,6 +172,7 @@ pub fn build_alias_table(
         stalls: Default::default(),
         barrier_waits: Vec::new(),
         flag_waits: Vec::new(),
+        critical_path: None,
     };
     pairing.engine_busy[EngineKind::Scalar.index()] = pairing_cycles;
 

@@ -73,6 +73,7 @@ fn modeled_report(
         stalls: Default::default(),
         barrier_waits: Vec::new(),
         flag_waits: Vec::new(),
+        critical_path: None,
     }
 }
 

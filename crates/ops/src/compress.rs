@@ -62,6 +62,7 @@ pub fn compress<E: Element>(
                 stalls: Default::default(),
                 barrier_waits: Vec::new(),
                 flag_waits: Vec::new(),
+                critical_path: None,
             },
         });
     }

@@ -131,6 +131,7 @@ fn empty_report(spec: &ChipSpec) -> KernelReport {
         stalls: Default::default(),
         barrier_waits: Vec::new(),
         flag_waits: Vec::new(),
+        critical_path: None,
     }
 }
 

@@ -18,12 +18,14 @@ echo "==> perf report smoke: figures --json + trace"
 # before writing; CI additionally pins the stable schema keys.
 cargo run --release -p bench --bin figures -- --json --quick
 test -s BENCH_scan.json
-for key in '"schema":"bench-scan/v3"' '"name":' '"cycles":' '"time_us":' \
+for key in '"schema":"bench-scan/v4"' '"name":' '"cycles":' '"time_us":' \
     '"gbps":' '"traffic_gbps":' '"l2_traffic_gbps":' '"working_set":' \
     '"gelems":' '"fraction_of_peak":' \
     '"engines":' '"busy_cycles":' '"stall_dependency":' \
     '"stall_contention":' '"stall_barrier":' '"stall_flag":' \
     '"barrier_wait_cycles":' '"flag_wait_cycles":' \
+    '"critical_path":' '"makespan":' '"lookback_chain_share":' \
+    '"what_ifs":' '"name":"free_flags"' '"name":"zero_lookback"' \
     '"name":"ScanC(fp16)"' '"name":"ScanC(int8)"' '"traffic":'; do
   grep -qF "$key" BENCH_scan.json \
     || { echo "BENCH_scan.json missing required key $key"; exit 1; }
@@ -50,19 +52,29 @@ for key in '"traceEvents"' 'Phase I' 'Phase II' 'SyncAll' 'wait:dep' 'wait:barri
 done
 rm -f mcscan_trace.json
 
-echo "==> simlint gate: every shipped kernel's schedule must be clean"
+echo "==> simlint + critpath gates: every shipped kernel's schedule must be clean"
 # One trace file per kernel (concatenated launches would look
-# concurrent to the analyzer); simlint exits nonzero on ANY diagnostic
-# — races and sync gaps, but also leak/balance warnings.
+# concurrent to the analyzer). The traces live in a temp dir that is
+# removed even when a gate fails, so a red run leaves no litter in the
+# repo root.
+lintdir=$(mktemp -d)
+trap 'rm -rf "$lintdir"' EXIT
+lint_traces=()
 for k in scanu scanul1 mcscan scanc cumsum batched; do
-  cargo run --release -p bench --bin trace -- "$k" 65536 "simlint_$k.json"
+  cargo run --release -p bench --bin trace -- "$k" 65536 "$lintdir/$k.json"
+  lint_traces+=("$lintdir/$k.json")
 done
-cargo run --release -p bench --bin simlint -- \
-  simlint_scanu.json simlint_scanul1.json simlint_mcscan.json \
-  simlint_scanc.json simlint_cumsum.json simlint_batched.json \
-  || { echo "simlint found schedule diagnostics"; exit 1; }
-rm -f simlint_scanu.json simlint_scanul1.json simlint_mcscan.json \
-  simlint_scanc.json simlint_cumsum.json simlint_batched.json
+# simlint exits nonzero on ANY diagnostic — races and sync gaps, but
+# also leak/balance warnings; --json keeps a machine-readable record.
+cargo run --release -p bench --bin simlint -- --json "${lint_traces[@]}" \
+  > "$lintdir/simlint.json" \
+  || { cat "$lintdir/simlint.json"; echo "simlint found schedule diagnostics"; exit 1; }
+grep -qF '"diagnostics":' "$lintdir/simlint.json" \
+  || { echo "simlint --json output missing diagnostics key"; exit 1; }
+# critpath re-checks the makespan identity and what-if invariants on the
+# serialized critical paths of the same traces.
+cargo run --release -p bench --bin critpath -- --top 3 "${lint_traces[@]}" \
+  || { echo "critpath found a critical-path invariant violation"; exit 1; }
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
