@@ -7,6 +7,35 @@
 
 use crate::engine::EngineKind;
 use crate::simcheck::ValidationMode;
+use crate::sync::SchedMode;
+
+/// How a launch picks its scheduler gating discipline.
+///
+/// Both disciplines produce byte-identical reports (see
+/// [`SchedMode`]); this policy exists so tests and equivalence gates
+/// can pin a mode without racing on the process-global `ASCEND_SCHED`
+/// environment variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Resolve from `ASCEND_SCHED` at launch time (the default).
+    #[default]
+    Env,
+    /// Force the serial baton scheduler.
+    Serial,
+    /// Force the parallel-round scheduler.
+    Parallel,
+}
+
+impl SchedPolicy {
+    /// The concrete [`SchedMode`] this launch should run under.
+    pub fn resolve(self) -> SchedMode {
+        match self {
+            SchedPolicy::Env => SchedMode::from_env(),
+            SchedPolicy::Serial => SchedMode::Serial,
+            SchedPolicy::Parallel => SchedMode::Parallel,
+        }
+    }
+}
 
 /// Static description of an Ascend-like accelerator.
 ///
@@ -104,6 +133,11 @@ pub struct ChipSpec {
     /// How much runtime sanitizer checking (`simcheck`) the simulator
     /// performs. Purely observational: never affects simulated timing.
     pub validation: ValidationMode,
+
+    // ---- Host execution ----
+    /// Which scheduler gating discipline launches use. Purely a host
+    /// execution choice: never affects simulated timing or reports.
+    pub scheduler: SchedPolicy,
 }
 
 impl ChipSpec {
@@ -148,6 +182,7 @@ impl ChipSpec {
             flag_id_limit: 16,      // hardware cross-core flag registers
 
             validation: ValidationMode::Full,
+            scheduler: SchedPolicy::Env,
         }
     }
 
@@ -193,6 +228,7 @@ impl ChipSpec {
             flag_id_limit: 8,
 
             validation: ValidationMode::Full,
+            scheduler: SchedPolicy::Env,
         }
     }
 
@@ -201,6 +237,15 @@ impl ChipSpec {
     /// (`ChipSpec::ascend_910b4().with_validation(ValidationMode::Cheap)`).
     pub fn with_validation(mut self, validation: ValidationMode) -> Self {
         self.validation = validation;
+        self
+    }
+
+    /// Returns the spec with a different [`SchedPolicy`] — how tests pin
+    /// a launch to one scheduler without racing on the process-global
+    /// `ASCEND_SCHED` variable
+    /// (`ChipSpec::tiny().with_scheduler(SchedPolicy::Serial)`).
+    pub fn with_scheduler(mut self, scheduler: SchedPolicy) -> Self {
+        self.scheduler = scheduler;
         self
     }
 

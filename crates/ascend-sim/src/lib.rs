@@ -26,11 +26,15 @@
 //!   (effective HBM or L2 bandwidth);
 //! * a **launch overhead** per kernel.
 //!
-//! Blocks are driven by a deterministic cooperative [`Scheduler`]
-//! (see [`sync`]): one block runs at a time in a total, seed-independent
-//! event order, so launches replay byte-for-byte regardless of host
-//! thread scheduling and grids may exceed both the host's cores and the
-//! chip's. Cross-block synchronization (`SyncAll`) is built from priced
+//! Blocks are driven by a deterministic [`Scheduler`] (see [`sync`]):
+//! either a serial cooperative baton (one block at a time in a total,
+//! seed-independent event order) or — the default — deterministic
+//! parallel rounds that let blocks run concurrently on host threads
+//! while committing every observable side effect in block-index order.
+//! Both produce byte-identical reports, so launches replay
+//! byte-for-byte regardless of host thread scheduling and grids may
+//! exceed both the host's cores and the chip's. Cross-block
+//! synchronization (`SyncAll`) is built from priced
 //! `CrossCoreSetFlag`/`CrossCoreWaitFlag` scalar instructions, so
 //! barrier cost is modelled rather than absorbed.
 //!
@@ -61,18 +65,18 @@ pub mod sync;
 pub mod timeline;
 pub mod trace;
 
-pub use chip::ChipSpec;
+pub use chip::{ChipSpec, SchedPolicy};
 pub use critpath::{CritInput, CritReport, CritSummary, PathSeg, SegClass, WhatIf};
 pub use engine::EngineKind;
 pub use error::{SimError, SimResult};
 pub use hb::{Diagnostic, Severity};
 pub use mem::{GlobalMemory, Region};
 pub use prof::{
-    CounterEvent, KernelProfile, Profile, SpanArgs, SpanId, SpanRecorder, StallCause, StallEvent,
-    StallTally, TraceSpan,
+    CounterEvent, KernelProfile, Profile, ProfileRecorder, SpanArgs, SpanId, SpanRecorder,
+    StallCause, StallEvent, StallTally, TraceSpan,
 };
 pub use report::KernelReport;
 pub use simcheck::{ScratchTracker, ValidationMode};
-pub use sync::{FlagFile, Scheduler};
+pub use sync::{FlagFile, SchedMode, Scheduler};
 pub use timeline::{CoreKind, CoreTimeline, EventTime};
 pub use trace::{HbAction, HbEvent, HbRecorder, TraceEvent};

@@ -9,9 +9,10 @@
 //! kernel time only.
 
 use crate::error::{SimError, SimResult};
+use crate::prof::ProfileRecorder;
 use dtypes::Element;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Alignment of global-memory allocations in bytes (Ascend requires 32 B;
 /// we use 512 B which also keeps tiles cache-line aligned).
@@ -52,6 +53,7 @@ pub struct GlobalMemory {
     next: AtomicUsize,
     device_bytes_read: AtomicU64,
     device_bytes_written: AtomicU64,
+    profiler: Mutex<Option<Arc<ProfileRecorder>>>,
 }
 
 impl GlobalMemory {
@@ -63,7 +65,34 @@ impl GlobalMemory {
             next: AtomicUsize::new(0),
             device_bytes_read: AtomicU64::new(0),
             device_bytes_written: AtomicU64::new(0),
+            profiler: Mutex::new(None),
         }
+    }
+
+    /// Attaches a fresh [`ProfileRecorder`] to this memory and returns
+    /// it: every kernel launched against this memory from now on submits
+    /// its finished profile there. The recorder is per-launch-state, not
+    /// per-thread, so concurrent launches on *other* memories are
+    /// unaffected and sequential launches cannot leak profiles into each
+    /// other. Replaces any previously attached recorder.
+    pub fn attach_profiler(&self) -> Arc<ProfileRecorder> {
+        let recorder = ProfileRecorder::new();
+        *self.profiler.lock().expect("GlobalMemory lock poisoned") = Some(Arc::clone(&recorder));
+        recorder
+    }
+
+    /// Detaches the profile recorder, if any; subsequent launches stop
+    /// recording profiles.
+    pub fn detach_profiler(&self) {
+        *self.profiler.lock().expect("GlobalMemory lock poisoned") = None;
+    }
+
+    /// The currently attached profile recorder, if any.
+    pub fn profiler(&self) -> Option<Arc<ProfileRecorder>> {
+        self.profiler
+            .lock()
+            .expect("GlobalMemory lock poisoned")
+            .clone()
     }
 
     /// Allocates `len` bytes (zero-initialized), aligned to [`GM_ALIGN`].

@@ -47,7 +47,7 @@ use crate::critpath::CritReport;
 use crate::engine::EngineKind;
 use crate::timeline::EventTime;
 use crate::trace::{hb_events_json, json_escape, HbEvent, TraceEvent};
-use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 
 /// Core index used in [`TraceSpan::core`] for block-scoped (phase) spans
 /// that do not belong to a single core.
@@ -514,48 +514,59 @@ impl Profile {
     }
 }
 
-thread_local! {
-    static COLLECTOR: RefCell<Option<Vec<KernelProfile>>> = const { RefCell::new(None) };
-}
-
-/// Whether a [`with_profiling`] scope is active on this thread (the
-/// launch machinery consults this to turn recording on).
-pub fn collector_active() -> bool {
-    COLLECTOR.with(|c| c.borrow().is_some())
-}
-
-/// Hands a finished launch's profile to the active collector; no-op when
-/// no [`with_profiling`] scope is active.
-pub fn submit(profile: KernelProfile) {
-    COLLECTOR.with(|c| {
-        if let Some(v) = c.borrow_mut().as_mut() {
-            v.push(profile);
-        }
-    });
-}
-
-/// Runs `f` with profile collection enabled on this thread: every kernel
-/// launched inside records spans, engine events, and stall intervals, and
-/// the collected [`Profile`] is returned alongside `f`'s result.
+/// An explicit, launch-scoped profile collector.
 ///
-/// Profiling is observational — simulated cycle counts are identical with
-/// and without it. Scopes nest: an inner scope shadows the outer one for
-/// its duration.
-pub fn with_profiling<R>(f: impl FnOnce() -> R) -> (R, Profile) {
-    let prev = COLLECTOR.with(|c| c.borrow_mut().replace(Vec::new()));
-    let result = f();
-    let collected = COLLECTOR.with(|c| {
-        let mut slot = c.borrow_mut();
-        let got = slot.take();
-        *slot = prev;
-        got
-    });
-    (
-        result,
+/// The recorder is *per-launch state*: it is attached to the
+/// [`GlobalMemory`](crate::mem::GlobalMemory) a launch runs against
+/// ([`GlobalMemory::attach_profiler`](crate::mem::GlobalMemory::attach_profiler)),
+/// and the launch machinery submits the finished [`KernelProfile`]
+/// there. Unlike the thread-local collector it replaces, a recorder is
+/// `Send + Sync` — launches on different memories can profile
+/// concurrently from a host thread pool — and it cannot leak profiles
+/// across sequential launches on the same host thread: a launch records
+/// if and only if its own memory has a recorder attached.
+#[derive(Debug, Default)]
+pub struct ProfileRecorder {
+    kernels: Mutex<Vec<KernelProfile>>,
+}
+
+impl ProfileRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Arc<ProfileRecorder> {
+        Arc::new(ProfileRecorder::default())
+    }
+
+    /// Hands a finished launch's profile to the recorder.
+    pub fn submit(&self, profile: KernelProfile) {
+        self.kernels
+            .lock()
+            .expect("ProfileRecorder lock poisoned")
+            .push(profile);
+    }
+
+    /// Drains everything recorded so far into a [`Profile`], in launch
+    /// completion order.
+    pub fn take(&self) -> Profile {
         Profile {
-            kernels: collected.unwrap_or_default(),
-        },
-    )
+            kernels: std::mem::take(
+                &mut self.kernels.lock().expect("ProfileRecorder lock poisoned"),
+            ),
+        }
+    }
+}
+
+/// Runs `f` with profile collection enabled on `gm`: every kernel
+/// launched against `gm` inside records spans, engine events, and stall
+/// intervals, and the collected [`Profile`] is returned alongside `f`'s
+/// result. Launches against *other* memories are unaffected.
+///
+/// Profiling is observational — simulated cycle counts are identical
+/// with and without it.
+pub fn with_profiling<R>(gm: &crate::mem::GlobalMemory, f: impl FnOnce() -> R) -> (R, Profile) {
+    let recorder = gm.attach_profiler();
+    let result = f();
+    gm.detach_profiler();
+    (result, recorder.take())
 }
 
 #[cfg(test)]
@@ -629,34 +640,52 @@ mod tests {
     }
 
     #[test]
-    fn collector_scopes_nest() {
-        assert!(!collector_active());
-        let ((), outer) = with_profiling(|| {
-            assert!(collector_active());
-            submit(KernelProfile {
+    fn recorder_is_scoped_to_its_memory() {
+        let gm1 = crate::mem::GlobalMemory::new(1 << 10);
+        let gm2 = crate::mem::GlobalMemory::new(1 << 10);
+        let ((), p1) = with_profiling(&gm1, || {
+            // A launch submits to the recorder of the memory it runs
+            // against; gm2 has none, so its submissions are dropped.
+            gm1.profiler().unwrap().submit(KernelProfile {
                 name: "a".into(),
                 ..Default::default()
             });
-            let ((), inner) = with_profiling(|| {
-                submit(KernelProfile {
-                    name: "b".into(),
-                    ..Default::default()
-                });
-            });
-            assert_eq!(inner.kernels.len(), 1);
-            assert_eq!(inner.kernels[0].name, "b");
-            assert!(collector_active(), "outer scope restored");
+            assert!(gm2.profiler().is_none());
         });
-        assert!(!collector_active());
-        assert_eq!(outer.kernels.len(), 1);
-        assert_eq!(outer.kernels[0].name, "a");
+        assert_eq!(p1.kernels.len(), 1);
+        assert_eq!(p1.kernels[0].name, "a");
+        assert!(gm1.profiler().is_none(), "scope detaches on exit");
     }
 
     #[test]
-    fn submit_without_collector_is_dropped() {
-        submit(KernelProfile::default());
-        let ((), p) = with_profiling(|| {});
-        assert!(p.kernels.is_empty());
+    fn sequential_scopes_do_not_share_profiles() {
+        // Regression: the old thread-local collector could leak profiles
+        // across back-to-back launches on the same host thread.
+        let gm = crate::mem::GlobalMemory::new(1 << 10);
+        let ((), first) = with_profiling(&gm, || {
+            gm.profiler().unwrap().submit(KernelProfile {
+                name: "first".into(),
+                ..Default::default()
+            });
+        });
+        let ((), second) = with_profiling(&gm, || {
+            gm.profiler().unwrap().submit(KernelProfile {
+                name: "second".into(),
+                ..Default::default()
+            });
+        });
+        assert_eq!(first.kernels.len(), 1);
+        assert_eq!(first.kernels[0].name, "first");
+        assert_eq!(second.kernels.len(), 1);
+        assert_eq!(second.kernels[0].name, "second");
+    }
+
+    #[test]
+    fn recorder_take_drains() {
+        let rec = ProfileRecorder::new();
+        rec.submit(KernelProfile::default());
+        assert_eq!(rec.take().kernels.len(), 1);
+        assert!(rec.take().kernels.is_empty());
     }
 
     #[test]

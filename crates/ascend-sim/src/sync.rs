@@ -1,17 +1,34 @@
-//! The deterministic cooperative block scheduler, cross-block barriers,
-//! cross-core flags, and the global bandwidth bound.
+//! The deterministic block scheduler, cross-block barriers, cross-core
+//! flags, and the global bandwidth bound.
 //!
 //! # Execution model
 //!
-//! Blocks are resumable tasks driven by a single [`Scheduler`]. Exactly
-//! one block makes progress at any instant: a block runs until it either
-//! *yields* at a `SyncAll` barrier ([`Scheduler::sync`]) or *completes*
-//! ([`Scheduler::finish`]), and the scheduler then hands the baton to the
-//! next task in a **total, seed-independent event order** — within each
-//! barrier round, blocks run and resume in ascending block index. Host
-//! thread scheduling therefore cannot influence anything: every run of
-//! the same kernel replays byte-for-byte, and `launch()` can multiplex
-//! grids far larger than the chip (or the host) onto the physical cores.
+//! Blocks are tasks driven by a single [`Scheduler`], each running until
+//! it either *yields* at a `SyncAll` barrier ([`Scheduler::sync`]) or
+//! *completes* ([`Scheduler::finish`]). The scheduler supports two
+//! gating disciplines ([`SchedMode`]) that produce **byte-identical
+//! reports** (test- and CI-gated):
+//!
+//! * [`SchedMode::Serial`] — the cooperative baton: exactly one block
+//!   makes progress at any instant, in a total, seed-independent event
+//!   order (within each barrier round, blocks run and resume in
+//!   ascending block index).
+//! * [`SchedMode::Parallel`] — deterministic parallel rounds: all
+//!   runnable blocks step to their next sync edge concurrently on their
+//!   own host threads, and the last block to park resolves the round.
+//!   Everything a block can *observe* is forced to the value the baton
+//!   order would have produced: round resolution is a full rendezvous
+//!   (so the commutative GM byte counters and max-reductions are
+//!   order-independent), a block reads its slot clock only after every
+//!   lower-index slot-mate has advanced to its next yield point, and
+//!   grid-flag operations commit in block-index order (see below).
+//!
+//! Host thread scheduling therefore cannot influence anything in either
+//! mode: every run of the same kernel replays byte-for-byte, and
+//! `launch()` can multiplex grids far larger than the chip (or the
+//! host) onto the physical cores. The process-wide default comes from
+//! the `ASCEND_SCHED` environment variable ([`SchedMode::from_env`]);
+//! `ChipSpec::scheduler` can force a mode per launch.
 //!
 //! # Slot time-sharing (oversubscription)
 //!
@@ -21,12 +38,13 @@
 //! the slot's next tenant is *re-queued* from the time the slot frees:
 //! its start origin ([`Scheduler::begin`]) and its post-barrier resume
 //! time ([`Scheduler::sync`]'s third return value) are both lower-bounded
-//! by the slot's free time. Because blocks run in ascending index order
-//! within a round, the slot's previous tenant has always advanced to its
-//! next yield point before the successor reads the slot clock, so
-//! oversubscribed grids (`blocks > phys`) wave-multiplex deterministically
-//! — and, unlike the earlier model, they can still rendezvous at
-//! `SyncAll` barriers.
+//! by the slot's free time. The slot clock is only ever written by the
+//! slot's tenants, and a tenant reads it only once every lower-index
+//! slot-mate has advanced to its next yield point (the baton guarantees
+//! this by its total order; parallel mode gates on the slot-mates' yield
+//! counts), so oversubscribed grids (`blocks > phys`) wave-multiplex
+//! deterministically — and they can still rendezvous at `SyncAll`
+//! barriers.
 //!
 //! # Grid flags (launch-wide mailboxes)
 //!
@@ -37,9 +55,13 @@
 //! protocol of single-pass chained scans (`ScanC`), where block `b`
 //! publishes its partial aggregate to a GM mailbox and block `b + 1`
 //! waits on `b`'s flag instead of a global barrier. Waiting on a flag
-//! nobody has published is rejected — under ascending-index scheduling a
+//! nobody has published is rejected — under block-index-ordered commit a
 //! *backward* look-back always finds its predecessor's flag already set,
-//! while a forward wait would deadlock real silicon.
+//! while a forward wait would deadlock real silicon. In parallel mode a
+//! grid operation by block `b` waits until every block below `b` has
+//! parked past `b`'s current segment, which reproduces the baton's
+//! `(segment, block index, program order)` commit order exactly — same
+//! FIFO contents, same tokens, same "unset grid flag" rejections.
 //!
 //! # Barrier pricing
 //!
@@ -144,6 +166,35 @@ impl FlagFile {
     }
 }
 
+/// The gating discipline a [`Scheduler`] uses to order block progress.
+///
+/// Both modes produce byte-identical reports; `Parallel` lets
+/// independent block segments run concurrently on host threads and is
+/// the default. See the module docs for the equivalence argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Cooperative baton passing: one block runs at a time, in a total
+    /// ascending-index order per round.
+    Serial,
+    /// Deterministic parallel rounds: all runnable blocks step to their
+    /// next sync edge concurrently; side effects commit in block-index
+    /// order.
+    #[default]
+    Parallel,
+}
+
+impl SchedMode {
+    /// The process-wide default, from the `ASCEND_SCHED` environment
+    /// variable: `serial` (or `baton`) forces the baton scheduler,
+    /// anything else — including unset — selects parallel rounds.
+    pub fn from_env() -> SchedMode {
+        match std::env::var("ASCEND_SCHED").as_deref() {
+            Ok("serial") | Ok("baton") => SchedMode::Serial,
+            _ => SchedMode::Parallel,
+        }
+    }
+}
+
 /// What one block is doing, from the scheduler's point of view.
 #[derive(Clone, Copy, Debug)]
 enum BlockState {
@@ -204,6 +255,8 @@ pub struct FinalRecord {
 }
 
 struct SchedState {
+    /// Gating discipline (see [`SchedMode`]).
+    mode: SchedMode,
     /// Corrected global clock at the end of the last resolved round.
     seg_start: EventTime,
     /// GM traffic counters (read+written) at the end of the last round.
@@ -234,11 +287,41 @@ struct SchedState {
     /// Cycle at which each physical core slot frees; block `b` occupies
     /// slot `b % slot_free.len()` and updates it at every yield point.
     slot_free: Vec<EventTime>,
+    /// Times each block has parked (barrier arrivals; the commit-order
+    /// clock the parallel mode's gates compare against).
+    yields: Vec<u64>,
+    /// Whether each block has called [`Scheduler::finish`] (a finished
+    /// block satisfies every gate forever).
+    finished: Vec<bool>,
     /// Launch-wide mailbox flag registry (FIFO counting semaphores per
     /// id), with a monotonic token stamping every set for the analyzer.
     grid_slots: HashMap<u32, VecDeque<(EventTime, u64)>>,
     grid_next_token: u64,
     grid_limit: u32,
+}
+
+impl SchedState {
+    /// True when every lower-index tenant of `block`'s slot has parked at
+    /// least `count` times or finished. Slot clocks are written only by
+    /// slot tenants, so once this holds the slot clock carries exactly
+    /// the value the baton order would have produced (later tenants
+    /// cannot write before `block` does, and the parked predecessors
+    /// cannot park again until a round `block` participates in resolves).
+    fn slot_mates_yielded(&self, block: usize, count: u64) -> bool {
+        let phys = self.slot_free.len();
+        ((block % phys)..block)
+            .step_by(phys.max(1))
+            .all(|j| self.finished[j] || self.yields[j] >= count)
+    }
+
+    /// True when every block below `block` has parked past the segment
+    /// `block` is currently running — the commit gate for grid-flag
+    /// operations in parallel mode. Each gate only waits on strictly
+    /// lower indices, so the gates cannot form a cycle.
+    fn frontier_passed(&self, block: usize) -> bool {
+        let goal = self.yields[block] + 1;
+        (0..block).all(|j| self.finished[j] || self.yields[j] >= goal)
+    }
 }
 
 /// Deterministic cooperative scheduler for one kernel launch.
@@ -271,7 +354,8 @@ impl Scheduler {
 
     /// Creates a scheduler multiplexing `blocks` blocks onto `phys`
     /// physical core slots (block `b` on slot `b % phys`), with
-    /// `grid_flag_limit` usable launch-wide mailbox flag ids.
+    /// `grid_flag_limit` usable launch-wide mailbox flag ids. The gating
+    /// discipline comes from [`SchedMode::from_env`].
     pub fn with_slots(
         blocks: usize,
         phys: usize,
@@ -279,9 +363,31 @@ impl Scheduler {
         bytes_mark: u64,
         grid_flag_limit: u32,
     ) -> Self {
+        Self::with_slots_mode(
+            blocks,
+            phys,
+            seg_start,
+            bytes_mark,
+            grid_flag_limit,
+            SchedMode::from_env(),
+        )
+    }
+
+    /// [`Scheduler::with_slots`] with an explicit gating discipline —
+    /// the non-racy way to pin a mode in tests and equivalence gates
+    /// (environment variables are process-global).
+    pub fn with_slots_mode(
+        blocks: usize,
+        phys: usize,
+        seg_start: EventTime,
+        bytes_mark: u64,
+        grid_flag_limit: u32,
+        mode: SchedMode,
+    ) -> Self {
         assert!(phys >= 1, "a launch needs at least one physical slot");
         Scheduler {
             state: Mutex::new(SchedState {
+                mode,
                 seg_start,
                 bytes_mark,
                 round: 0,
@@ -296,6 +402,8 @@ impl Scheduler {
                 flag_waits: Vec::new(),
                 final_end: None,
                 slot_free: vec![seg_start; phys],
+                yields: vec![0; blocks],
+                finished: vec![false; blocks],
                 grid_slots: HashMap::new(),
                 grid_next_token: 0,
                 grid_limit: grid_flag_limit,
@@ -308,16 +416,30 @@ impl Scheduler {
         self.state.lock().expect("Scheduler lock poisoned")
     }
 
-    /// Blocks until it is this block's turn to start executing. Must be
-    /// the first scheduler call a block thread makes. Returns the cycle
-    /// the block's physical core slot frees — the block's start origin
-    /// (the first segment's start for wave-0 blocks, the previous
-    /// tenant's yield point for later waves).
+    /// Blocks until this block may start executing — its baton turn in
+    /// serial mode; in parallel mode, until every earlier tenant of its
+    /// physical slot has yielded at least once (wave-0 blocks start
+    /// immediately and concurrently). Must be the first scheduler call a
+    /// block thread makes. Returns the cycle the block's physical core
+    /// slot frees — the block's start origin (the first segment's start
+    /// for wave-0 blocks, the previous tenant's yield point for later
+    /// waves).
     pub fn begin(&self, block: usize) -> EventTime {
         let mut st = self.lock();
-        while st.turn != Some(block) {
-            st = self.cv.wait(st).expect("Scheduler lock poisoned");
+        match st.mode {
+            SchedMode::Serial => {
+                while st.turn != Some(block) {
+                    st = self.cv.wait(st).expect("Scheduler lock poisoned");
+                }
+            }
+            SchedMode::Parallel => {
+                while !st.slot_mates_yielded(block, 1) {
+                    st = self.cv.wait(st).expect("Scheduler lock poisoned");
+                }
+            }
         }
+        // No round can resolve while this block is Pending, so st.round
+        // is still the round this block's first segment belongs to.
         let round = st.round;
         st.status[block] = BlockState::Released(round);
         st.slot_free[block % st.slot_free.len()]
@@ -345,21 +467,37 @@ impl Scheduler {
         release_cost: u64,
     ) -> (EventTime, EventTime, EventTime) {
         let mut st = self.lock();
+        // Rendezvous invariant: round r cannot resolve until this block
+        // parks at it, and this block cannot reach barrier r before round
+        // r-1 resolved — so the gathering round IS this block's round.
         let my_round = st.round;
+        debug_assert_eq!(st.yields[block], my_round, "a block skipped a round");
         st.status[block] = BlockState::AtBarrier {
             round: my_round,
             set_done,
             ready,
         };
+        st.yields[block] += 1;
         let slot = block % st.slot_free.len();
         st.slot_free[slot] = st.slot_free[slot].max(ready);
         st.pending_cost = st.pending_cost.max(release_cost);
-        self.advance(&mut st, gm, spec);
+        match st.mode {
+            SchedMode::Serial => self.advance(&mut st, gm, spec),
+            SchedMode::Parallel => self.try_resolve(&mut st, gm, spec),
+        }
         self.cv.notify_all();
         loop {
             let resolved = st.round_result.get(my_round as usize).copied();
             if let Some((all_set, resolved)) = resolved {
-                if st.turn == Some(block) {
+                // Read the slot clock only once every lower-index slot
+                // tenant has advanced to its next yield point: the baton
+                // guarantees that by turn order; parallel mode gates on
+                // the slot-mates having parked past the released segment.
+                let may_resume = match st.mode {
+                    SchedMode::Serial => st.turn == Some(block),
+                    SchedMode::Parallel => st.slot_mates_yielded(block, my_round + 2),
+                };
+                if may_resume {
                     let resume = resolved.max(st.slot_free[slot]);
                     return (all_set, resolved, resume);
                 }
@@ -381,9 +519,14 @@ impl Scheduler {
     ) -> EventTime {
         let mut st = self.lock();
         st.status[block] = BlockState::Finishing(local);
+        st.yields[block] += 1;
+        st.finished[block] = true;
         let slot = block % st.slot_free.len();
         st.slot_free[slot] = st.slot_free[slot].max(local);
-        self.advance(&mut st, gm, spec);
+        match st.mode {
+            SchedMode::Serial => self.advance(&mut st, gm, spec),
+            SchedMode::Parallel => self.try_resolve(&mut st, gm, spec),
+        }
         self.cv.notify_all();
         loop {
             if let Some(end) = st.final_end {
@@ -418,6 +561,31 @@ impl Scheduler {
                 st.turn = None;
                 return;
             }
+        }
+    }
+
+    /// Parallel-mode resolution: the last block to park resolves the
+    /// round. Fires only at a full rendezvous — every block parked at
+    /// the gathering round or finishing — so the GM byte counters, the
+    /// arrival/ready maxima, and the pending release cost carry exactly
+    /// the values the baton order would have accumulated, regardless of
+    /// which host thread got here last.
+    fn try_resolve(&self, st: &mut SchedState, gm: &GlobalMemory, spec: &ChipSpec) {
+        let round = st.round;
+        let mut any_at_barrier = false;
+        for s in &st.status {
+            match *s {
+                BlockState::AtBarrier { round: r, .. } if r == round => any_at_barrier = true,
+                BlockState::Finishing(_) => {}
+                // Someone is still running (or not begun): no resolution.
+                _ => return,
+            }
+        }
+        if any_at_barrier {
+            self.resolve_round(st, gm, spec);
+        } else {
+            self.resolve_final(st, gm, spec);
+            st.turn = None;
         }
     }
 
@@ -554,12 +722,31 @@ impl Scheduler {
     // Grid flags (launch-wide mailbox flags)
     // ---------------------------------------------------------------
 
+    /// In parallel mode, holds the caller until every block below
+    /// `block` has parked past `block`'s current segment, so grid-flag
+    /// operations commit in the baton's `(segment, block index, program
+    /// order)` total order. Serial mode needs no gate: the baton already
+    /// serializes the callers in exactly that order.
+    fn gate_grid_op<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, SchedState>,
+        block: usize,
+    ) -> std::sync::MutexGuard<'a, SchedState> {
+        if st.mode == SchedMode::Parallel {
+            while !st.frontier_passed(block) {
+                st = self.cv.wait(st).expect("Scheduler lock poisoned");
+            }
+        }
+        st
+    }
+
     /// Publishes one launch-wide set event on grid flag `id` completing
-    /// at cycle `at`; returns the set's launch-unique token. Like the
-    /// per-block [`FlagFile`], grid flags are FIFO counting semaphores
-    /// per id, and ids `>= grid_flag_limit` are rejected.
-    pub fn grid_set(&self, id: u32, at: EventTime) -> SimResult<u64> {
-        let mut st = self.lock();
+    /// at cycle `at`, on behalf of `block`; returns the set's
+    /// launch-unique token. Like the per-block [`FlagFile`], grid flags
+    /// are FIFO counting semaphores per id, and ids `>= grid_flag_limit`
+    /// are rejected.
+    pub fn grid_set(&self, block: usize, id: u32, at: EventTime) -> SimResult<u64> {
+        let mut st = self.gate_grid_op(self.lock(), block);
         if id >= st.grid_limit {
             return Err(SimError::FlagIdOutOfRange {
                 id,
@@ -572,12 +759,14 @@ impl Scheduler {
         Ok(token)
     }
 
-    /// Consumes the earliest pending set on grid flag `id`, returning its
-    /// completion time and token — `None` when no set is pending. Calls
-    /// happen during a block's serialized turn, so consumption order (and
-    /// the token pairing the analyzer sees) is deterministic.
-    pub fn grid_consume(&self, id: u32) -> SimResult<Option<(EventTime, u64)>> {
-        let mut st = self.lock();
+    /// Consumes the earliest pending set on grid flag `id` on behalf of
+    /// `block`, returning its completion time and token — `None` when no
+    /// set is pending. Calls commit in the blocks' serialized segment
+    /// order (the baton's turn, or the parallel commit gate), so the
+    /// consumption order — and the token pairing the analyzer sees — is
+    /// deterministic.
+    pub fn grid_consume(&self, block: usize, id: u32) -> SimResult<Option<(EventTime, u64)>> {
+        let mut st = self.gate_grid_op(self.lock(), block);
         if id >= st.grid_limit {
             return Err(SimError::FlagIdOutOfRange {
                 id,
@@ -793,73 +982,77 @@ mod tests {
     #[test]
     fn oversubscribed_slots_chain_wave_origins() {
         // 3 blocks on 1 physical slot, no barriers: each block's begin()
-        // origin is the previous tenant's finish time.
+        // origin is the previous tenant's finish time — in both modes.
         let spec = spec_no_bw();
-        let gm = Arc::new(GlobalMemory::new(1 << 20));
-        let sched = Arc::new(Scheduler::with_slots(3, 1, 100, 0, 8));
-        let origins: Vec<EventTime> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..3)
-                .map(|i| {
-                    let sched = Arc::clone(&sched);
-                    let gm = Arc::clone(&gm);
-                    let spec = spec.clone();
-                    s.spawn(move || {
-                        let origin = sched.begin(i);
-                        // Each block "works" for 50 cycles on the slot.
-                        sched.finish(i, origin + 50, &gm, &spec);
-                        origin
+        for mode in [SchedMode::Serial, SchedMode::Parallel] {
+            let gm = Arc::new(GlobalMemory::new(1 << 20));
+            let sched = Arc::new(Scheduler::with_slots_mode(3, 1, 100, 0, 8, mode));
+            let origins: Vec<EventTime> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..3)
+                    .map(|i| {
+                        let sched = Arc::clone(&sched);
+                        let gm = Arc::clone(&gm);
+                        let spec = spec.clone();
+                        s.spawn(move || {
+                            let origin = sched.begin(i);
+                            // Each block "works" for 50 cycles on the slot.
+                            sched.finish(i, origin + 50, &gm, &spec);
+                            origin
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        assert_eq!(origins, vec![100, 150, 200]);
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(origins, vec![100, 150, 200], "{mode:?}");
+        }
     }
 
     #[test]
     fn barrier_yield_requeues_the_slot() {
         // 2 blocks share 1 slot and both cross one barrier: the slot-mate
         // that resumes second is re-queued behind the first one's
-        // post-barrier segment, not released concurrently.
+        // post-barrier segment, not released concurrently — in both modes.
         let spec = spec_no_bw();
-        let gm = Arc::new(GlobalMemory::new(1 << 20));
-        let sched = Arc::new(Scheduler::with_slots(2, 1, 0, 0, 8));
-        let (r0, r1) = std::thread::scope(|s| {
-            let a = {
-                let sched = Arc::clone(&sched);
-                let gm = Arc::clone(&gm);
-                let spec = spec.clone();
-                s.spawn(move || {
-                    let origin = sched.begin(0);
-                    assert_eq!(origin, 0);
-                    // Arrive at 60 (slot vacates), resume, then run a
-                    // 40-cycle post-barrier segment before finishing.
-                    let r = sched.sync(0, 50, 60, &gm, &spec, 0);
-                    sched.finish(0, r.2 + 40, &gm, &spec);
-                    r
-                })
-            };
-            let b = {
-                let sched = Arc::clone(&sched);
-                let gm = Arc::clone(&gm);
-                let spec = spec.clone();
-                s.spawn(move || {
-                    let origin = sched.begin(1);
-                    assert_eq!(origin, 60, "wave-1 begins when the slot frees");
-                    let r = sched.sync(1, 200, 210, &gm, &spec, 0);
-                    sched.finish(1, r.2, &gm, &spec);
-                    r
-                })
-            };
-            (a.join().unwrap(), b.join().unwrap())
-        });
-        // Round resolves at the slowest arrival: all_set 200, ready 210.
-        assert_eq!((r0.0, r0.1), (200, 210));
-        assert_eq!((r1.0, r1.1), (200, 210));
-        // Block 0 has the slot first and resumes at the release; block 1
-        // is re-queued behind block 0's 40-cycle post-barrier segment.
-        assert_eq!(r0.2, 210);
-        assert_eq!(r1.2, 250);
+        for mode in [SchedMode::Serial, SchedMode::Parallel] {
+            let gm = Arc::new(GlobalMemory::new(1 << 20));
+            let sched = Arc::new(Scheduler::with_slots_mode(2, 1, 0, 0, 8, mode));
+            let (r0, r1) = std::thread::scope(|s| {
+                let a = {
+                    let sched = Arc::clone(&sched);
+                    let gm = Arc::clone(&gm);
+                    let spec = spec.clone();
+                    s.spawn(move || {
+                        let origin = sched.begin(0);
+                        assert_eq!(origin, 0);
+                        // Arrive at 60 (slot vacates), resume, then run a
+                        // 40-cycle post-barrier segment before finishing.
+                        let r = sched.sync(0, 50, 60, &gm, &spec, 0);
+                        sched.finish(0, r.2 + 40, &gm, &spec);
+                        r
+                    })
+                };
+                let b = {
+                    let sched = Arc::clone(&sched);
+                    let gm = Arc::clone(&gm);
+                    let spec = spec.clone();
+                    s.spawn(move || {
+                        let origin = sched.begin(1);
+                        assert_eq!(origin, 60, "wave-1 begins when the slot frees");
+                        let r = sched.sync(1, 200, 210, &gm, &spec, 0);
+                        sched.finish(1, r.2, &gm, &spec);
+                        r
+                    })
+                };
+                (a.join().unwrap(), b.join().unwrap())
+            });
+            // Round resolves at the slowest arrival: all_set 200, ready 210.
+            assert_eq!((r0.0, r0.1), (200, 210), "{mode:?}");
+            assert_eq!((r1.0, r1.1), (200, 210), "{mode:?}");
+            // Block 0 has the slot first and resumes at the release; block
+            // 1 is re-queued behind block 0's 40-cycle post-barrier segment.
+            assert_eq!(r0.2, 210, "{mode:?}");
+            assert_eq!(r1.2, 250, "{mode:?}");
+        }
     }
 
     #[test]
@@ -882,33 +1075,116 @@ mod tests {
     #[test]
     fn grid_flags_are_fifo_counting_semaphores() {
         let sched = Scheduler::with_slots(2, 1, 0, 0, 4);
-        assert_eq!(sched.grid_consume(3).unwrap(), None);
-        let t0 = sched.grid_set(3, 100).unwrap();
-        let t1 = sched.grid_set(3, 140).unwrap();
+        assert_eq!(sched.grid_consume(0, 3).unwrap(), None);
+        let t0 = sched.grid_set(0, 3, 100).unwrap();
+        let t1 = sched.grid_set(0, 3, 140).unwrap();
         assert_ne!(t0, t1, "every grid set gets a launch-unique token");
-        assert_eq!(sched.grid_consume(3).unwrap(), Some((100, t0)));
-        assert_eq!(sched.grid_consume(3).unwrap(), Some((140, t1)));
-        assert_eq!(sched.grid_consume(3).unwrap(), None);
+        assert_eq!(sched.grid_consume(0, 3).unwrap(), Some((100, t0)));
+        assert_eq!(sched.grid_consume(0, 3).unwrap(), Some((140, t1)));
+        assert_eq!(sched.grid_consume(0, 3).unwrap(), None);
         // Tokens are unique across ids too (launch-wide pairing).
-        let t2 = sched.grid_set(0, 7).unwrap();
+        let t2 = sched.grid_set(0, 0, 7).unwrap();
         assert!(t2 > t1);
     }
 
     #[test]
     fn grid_flags_enforce_the_id_space() {
         let sched = Scheduler::with_slots(1, 1, 0, 0, 4);
-        let err = sched.grid_set(4, 100).unwrap_err();
+        let err = sched.grid_set(0, 4, 100).unwrap_err();
         assert!(matches!(
             err,
             SimError::FlagIdOutOfRange { id: 4, limit: 4 }
         ));
-        let err = sched.grid_consume(9).unwrap_err();
+        let err = sched.grid_consume(0, 9).unwrap_err();
         assert!(matches!(
             err,
             SimError::FlagIdOutOfRange { id: 9, limit: 4 }
         ));
-        sched.grid_set(3, 1).unwrap();
-        assert!(sched.grid_consume(3).unwrap().is_some());
+        sched.grid_set(0, 3, 1).unwrap();
+        assert!(sched.grid_consume(0, 3).unwrap().is_some());
+    }
+
+    #[test]
+    fn parallel_grid_ops_commit_in_block_index_order() {
+        // Three blocks on 2 slots, each publishing one grid set from its
+        // only segment: whatever order the host threads reach grid_set,
+        // the tokens must come out in block-index order — block 2's op
+        // additionally waits for the wave-0 blocks to park.
+        let spec = spec_no_bw();
+        let gm = Arc::new(GlobalMemory::new(1 << 20));
+        for _ in 0..16 {
+            let sched = Arc::new(Scheduler::with_slots_mode(
+                3,
+                2,
+                0,
+                0,
+                8,
+                SchedMode::Parallel,
+            ));
+            let tokens: Vec<u64> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..3usize)
+                    .map(|i| {
+                        let sched = Arc::clone(&sched);
+                        let gm = Arc::clone(&gm);
+                        let spec = spec.clone();
+                        s.spawn(move || {
+                            let origin = sched.begin(i);
+                            let token = sched.grid_set(i, 0, origin + 10).unwrap();
+                            sched.finish(i, origin + 50, &gm, &spec);
+                            token
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(tokens, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_schedulers_agree() {
+        // The same three-block, one-barrier schedule must produce the
+        // same results, records, and wait attribution in both modes.
+        let spec = spec_no_bw();
+        let set_clocks = [100u64, 5000, 250];
+        let w = spec.flag_wait_cycles;
+        let run = |mode: SchedMode| {
+            let gm = Arc::new(GlobalMemory::new(1 << 20));
+            let sched = Arc::new(Scheduler::with_slots_mode(
+                set_clocks.len(),
+                set_clocks.len(),
+                0,
+                0,
+                8,
+                mode,
+            ));
+            let results: Vec<(EventTime, EventTime, EventTime)> = std::thread::scope(|s| {
+                let handles: Vec<_> = set_clocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        let sched = Arc::clone(&sched);
+                        let gm = Arc::clone(&gm);
+                        let spec = spec.clone();
+                        s.spawn(move || {
+                            sched.begin(i);
+                            let r = sched.sync(i, c, c + w, &gm, &spec, 7);
+                            sched.finish(i, r.1, &gm, &spec);
+                            r
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            (
+                results,
+                sched.round_records(),
+                sched.final_record(),
+                sched.round_waits(),
+                sched.flag_waits(),
+            )
+        };
+        assert_eq!(run(SchedMode::Serial), run(SchedMode::Parallel));
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //!
 //! # Deterministic scheduling
 //!
-//! Blocks are *cooperative tasks* driven by the deterministic
-//! [`Scheduler`]: exactly one block makes progress at a time, in a total
-//! seed-independent order (ascending block index within each barrier
-//! round), so two launches of the same kernel produce byte-identical
-//! reports regardless of host load or core count. Grids larger than the
+//! Blocks are tasks driven by the deterministic [`Scheduler`] — one host
+//! thread per block, gated either by the serial cooperative baton
+//! (exactly one block progresses at a time, ascending block index within
+//! each barrier round) or, by default, by deterministic parallel rounds
+//! (blocks run concurrently between sync edges; every observable side
+//! effect commits in block-index order). Both disciplines produce
+//! byte-identical reports (`ascend_sim::sync` documents the equivalence
+//! argument), so two launches of the same kernel replay byte-for-byte
+//! regardless of host load or core count. Grids larger than the
 //! chip (`block_dim > spec.ai_cores`) are *oversubscribed*: block `b`
 //! time-shares physical core slot `b % spec.ai_cores`, starting where
 //! the slot's previous tenant yielded it. A block yields its slot at
@@ -267,11 +271,11 @@ where
     let read_at_start = gm.bytes_read();
     let written_at_start = gm.bytes_written();
     let oversubscribed = block_dim > spec.ai_cores;
-    // The collector is thread-local state of the *caller*; block threads
-    // have their own (empty) TLS, so the decision is made here and the
-    // profile is submitted here after the join.
-    let collector = prof::collector_active();
-    let recording = trace || collector || spec.validation.audits();
+    // The profile recorder is per-launch state carried by the launch's
+    // GlobalMemory (attach_profiler), so concurrent launches on other
+    // memories — and later launches on this one — never share a profile.
+    let collector = gm.profiler();
+    let recording = trace || collector.is_some() || spec.validation.audits();
 
     // Runs one block and harvests its timelines. The block first waits
     // for its turn (begin() also yields its start origin — the launch
@@ -283,9 +287,17 @@ where
             let mut ctx = BlockCtx {
                 block_idx,
                 block_dim,
-                cube: Core::new(CoreKind::Cube, spec, origin),
+                cube: Core::new(CoreKind::Cube, spec, origin, block_idx as usize, 0),
                 vecs: (0..spec.vec_per_core)
-                    .map(|_| Core::new(CoreKind::Vector, spec, origin))
+                    .map(|v| {
+                        Core::new(
+                            CoreKind::Vector,
+                            spec,
+                            origin,
+                            block_idx as usize,
+                            1 + v as usize,
+                        )
+                    })
                     .collect(),
                 flags: FlagFile::new(spec.flag_id_limit),
                 spec,
@@ -384,13 +396,16 @@ where
     // One scheduler drives every launch shape: dedicated slots when the
     // grid fits the chip, slot time-sharing (yield/re-queue) when it is
     // oversubscribed. The kernel-end alignment inside `finish` already
-    // stretches the end to the grid's bandwidth bound.
-    let sync = Scheduler::with_slots(
+    // stretches the end to the grid's bandwidth bound. The gating
+    // discipline (serial baton vs parallel rounds — byte-identical
+    // reports either way) comes from the spec's scheduler policy.
+    let sync = Scheduler::with_slots_mode(
         block_dim as usize,
         block_dim.min(spec.ai_cores) as usize,
         spec.launch_cycles,
         read_at_start + written_at_start,
         spec.flag_id_limit,
+        spec.scheduler.resolve(),
     );
     let outcomes: Vec<BlockOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..block_dim)
@@ -503,13 +518,13 @@ where
         report.critical_path = Some(crit.summary.clone());
         critical = Some(crit);
     }
-    if collector {
+    if let Some(collector) = collector {
         let profile_events = if trace {
             events.clone()
         } else {
             std::mem::take(&mut events)
         };
-        prof::submit(KernelProfile {
+        collector.submit(KernelProfile {
             name: name.to_string(),
             clock_ghz: spec.clock_ghz,
             blocks: block_dim,

@@ -10,18 +10,6 @@ use ascend_sim::{
     SpanRecorder, StallCause, TraceSpan,
 };
 use dtypes::{CubeInput, Element, Numeric};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Process-wide id source for simcheck lifetime tracking: every tracked
-/// allocation gets a unique id, so a tensor handed to a different core is
-/// recognized as foreign (and skipped) rather than confused with that
-/// core's own allocations.
-static NEXT_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
-
-/// Process-wide id source for simcheck cross-core ownership tracking.
-/// Uids never enter a [`ascend_sim::KernelReport`], so launch replay
-/// stays byte-identical regardless of how many cores were ever created.
-static NEXT_CORE_UID: AtomicU64 = AtomicU64::new(1);
 
 /// Comparison modes for the vector `Compare` intrinsic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,8 +47,19 @@ pub struct Core<'a> {
     pub(crate) kind: CoreKind,
     pub(crate) timeline: CoreTimeline,
     pub(crate) spec: &'a ChipSpec,
-    /// Simcheck identity for cross-core scratchpad-aliasing checks.
+    /// Simcheck identity for cross-core scratchpad-aliasing checks,
+    /// derived deterministically from `(block, lane)` so that every id
+    /// a launch emits (allocations, queues, hb events) is a pure
+    /// function of the kernel — independent of scheduler mode and of
+    /// any other launch running concurrently in the process.
     uid: u64,
+    /// Index of the block this core belongs to — the identity grid-flag
+    /// operations commit under (the scheduler orders them block-wise).
+    block: usize,
+    /// Per-core allocation id counter (simcheck lifetime tracking).
+    next_alloc: u64,
+    /// Per-core queue id counter (happens-before queue edges).
+    next_queue: u32,
     scratch_used: [usize; NUM_SCRATCHPADS],
     tracker: ScratchTracker,
     /// Per-core tile/instruction spans (depth >= 2 in the span hierarchy:
@@ -79,12 +78,22 @@ pub struct Core<'a> {
 }
 
 impl<'a> Core<'a> {
-    pub(crate) fn new(kind: CoreKind, spec: &'a ChipSpec, start: EventTime) -> Self {
+    pub(crate) fn new(
+        kind: CoreKind,
+        spec: &'a ChipSpec,
+        start: EventTime,
+        block: usize,
+        lane: usize,
+    ) -> Self {
         Core {
             kind,
             timeline: CoreTimeline::new(kind, start),
             spec,
-            uid: NEXT_CORE_UID.fetch_add(1, Ordering::Relaxed),
+            // `lane + 1` keeps every uid nonzero (owner 0 = untracked).
+            uid: ((block as u64) << 8) | (lane as u64 + 1),
+            block,
+            next_alloc: 1,
+            next_queue: 1,
             scratch_used: [0; NUM_SCRATCHPADS],
             tracker: ScratchTracker::new(spec.validation.lifetime_checks()),
             recorder: SpanRecorder::new(2),
@@ -261,7 +270,11 @@ impl<'a> Core<'a> {
         self.scratch_used[idx] += bytes;
         let mut t = LocalTensor::new(pos, len, 0);
         if self.spec.validation.lifetime_checks() {
-            let id = NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed);
+            // Deterministic per-core id: unique across the launch's
+            // cores (uid is unique per block/lane) and across this
+            // core's program order, with no global counter involved.
+            let id = (self.uid << 32) | self.next_alloc;
+            self.next_alloc += 1;
             self.tracker.on_alloc(id, idx, pos.name(), bytes, cap);
             t.alloc_id = id;
             t.owner = self.uid;
@@ -298,6 +311,14 @@ impl<'a> Core<'a> {
     /// Simcheck identity for cross-core ownership tracking.
     pub(crate) fn uid(&self) -> u64 {
         self.uid
+    }
+
+    /// Next deterministic queue id for the happens-before stream:
+    /// unique across the launch's cores and this core's program order.
+    pub(crate) fn next_queue_id(&mut self) -> u32 {
+        let qid = ((self.uid as u32) << 10) | self.next_queue;
+        self.next_queue += 1;
+        qid
     }
 
     /// Simcheck: a local tensor is only addressable by the core whose
@@ -836,7 +857,7 @@ impl<'a> Core<'a> {
         let done = self
             .timeline
             .exec(EngineKind::FLAG_ENGINE, self.spec.flag_set_cycles, after)?;
-        let token = sched.grid_set(id, done)?;
+        let token = sched.grid_set(self.block, id, done)?;
         self.hb_record(done, "GridSetFlag", HbAction::GridFlagSet { id, token });
         Ok(done)
     }
@@ -855,7 +876,7 @@ impl<'a> Core<'a> {
     /// supported — a forward wait could never be satisfied and models
     /// a hardware deadlock.
     pub fn wait_grid_flag(&mut self, sched: &Scheduler, id: u32) -> SimResult<EventTime> {
-        let Some((set_at, token)) = sched.grid_consume(id)? else {
+        let Some((set_at, token)) = sched.grid_consume(self.block, id)? else {
             return Err(SimError::InvalidArgument(format!(
                 "GridWaitFlag on unset grid flag {id}: blocks execute in \
                  ascending-index waves, so only backward look-back (on a flag \

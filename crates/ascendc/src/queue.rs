@@ -15,13 +15,6 @@ use ascend_sim::chip::ScratchpadKind;
 use ascend_sim::{EventTime, HbAction, HbRecorder, SimError, SimResult};
 use dtypes::Element;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, Ordering};
-
-/// Process-wide queue id source for the happens-before event stream.
-/// Ids never enter timing or reports, and the cooperative scheduler
-/// serializes block execution, so id assignment is deterministic per
-/// launch order within a process run.
-static NEXT_QUEUE_ID: AtomicU32 = AtomicU32::new(1);
 
 /// A buffer queue binding a producer engine to a consumer engine.
 pub struct TQue<T: Element> {
@@ -49,7 +42,8 @@ pub struct TQue<T: Element> {
     /// Happens-before recorder cloned from the owning core: queue events
     /// land in that core's program-order stream.
     hb: HbRecorder,
-    /// Process-unique queue id for the happens-before event stream.
+    /// Launch-deterministic queue id for the happens-before event
+    /// stream (derived from the owning core's block/lane identity).
     qid: u32,
 }
 
@@ -86,7 +80,7 @@ impl<T: Element> TQue<T> {
         }
         let tracked = core.spec().validation.lifetime_checks();
         let hb = core.hb_recorder();
-        let qid = NEXT_QUEUE_ID.fetch_add(1, Ordering::Relaxed);
+        let qid = core.next_queue_id();
         hb.record(
             core.now(),
             "TQue::new",
@@ -264,7 +258,7 @@ mod tests {
 
     fn with_core<R>(f: impl FnOnce(&mut Core<'_>) -> R) -> R {
         let spec = ChipSpec::tiny();
-        let mut core = Core::new(CoreKind::Vector, &spec, 0);
+        let mut core = Core::new(CoreKind::Vector, &spec, 0, 0, 0);
         f(&mut core)
     }
 
@@ -272,7 +266,7 @@ mod tests {
     fn paranoid_checksums_catch_in_flight_mutation() {
         let mut spec = ChipSpec::tiny();
         spec.validation = ValidationMode::Paranoid;
-        let mut core = Core::new(CoreKind::Vector, &spec, 0);
+        let mut core = Core::new(CoreKind::Vector, &spec, 0, 0, 0);
         let mut q = TQue::<i32>::new(&mut core, ScratchpadKind::Ub, 2, 8).unwrap();
         // A clean hand-off round-trips fine under Paranoid.
         let t = q.alloc_tensor().unwrap();
@@ -305,8 +299,8 @@ mod tests {
     #[test]
     fn cross_core_enque_is_rejected() {
         let spec = ChipSpec::tiny();
-        let mut a = Core::new(CoreKind::Vector, &spec, 0);
-        let mut b = Core::new(CoreKind::Vector, &spec, 0);
+        let mut a = Core::new(CoreKind::Vector, &spec, 0, 0, 0);
+        let mut b = Core::new(CoreKind::Vector, &spec, 0, 0, 1);
         let mut q = TQue::<u8>::new(&mut a, ScratchpadKind::Ub, 2, 8).unwrap();
         // Failure injection: core b's buffer smuggled into core a's queue.
         let foreign = b.alloc_local::<u8>(ScratchpadKind::Ub, 8).unwrap();
@@ -318,8 +312,8 @@ mod tests {
     #[test]
     fn cross_core_use_and_free_are_rejected() {
         let spec = ChipSpec::tiny();
-        let mut a = Core::new(CoreKind::Vector, &spec, 0);
-        let mut b = Core::new(CoreKind::Vector, &spec, 0);
+        let mut a = Core::new(CoreKind::Vector, &spec, 0, 0, 0);
+        let mut b = Core::new(CoreKind::Vector, &spec, 0, 0, 1);
         let mut t = a.alloc_local::<f32>(ScratchpadKind::Ub, 8).unwrap();
         // Failure injection: core b touches core a's scratchpad buffer.
         let err = b.fill_local(&mut t, 0, 8, 1.0).unwrap_err();

@@ -607,7 +607,7 @@ mod tests {
 
     fn with_vec_core<R>(f: impl FnOnce(&mut Core<'_>) -> R) -> R {
         let spec = ChipSpec::tiny();
-        let mut core = Core::new(CoreKind::Vector, &spec, 0);
+        let mut core = Core::new(CoreKind::Vector, &spec, 0, 0, 0);
         f(&mut core)
     }
 
@@ -725,7 +725,7 @@ mod tests {
     #[test]
     fn vector_ops_rejected_on_cube_core() {
         let spec = ChipSpec::tiny();
-        let mut cube = Core::new(CoreKind::Cube, &spec, 0);
+        let mut cube = Core::new(CoreKind::Cube, &spec, 0, 0, 0);
         let mut t = LocalTensor::<f32>::new(ScratchpadKind::Ub, 4, 0);
         assert!(cube.vadds(&mut t, 0, 4, 1.0, 0).is_err());
     }

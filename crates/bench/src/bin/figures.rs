@@ -2,12 +2,19 @@
 //! on the simulated Ascend 910B4.
 //!
 //! ```text
-//! figures [fig3|fig5|fig8|fig9|fig10|fig11|fig12|fig13|speedup|topk|all] [--quick]
-//! figures --json [--quick]
+//! figures [fig3|fig5|fig8|fig9|fig10|fig11|fig12|fig13|speedup|topk|all] [--quick] [--jobs N]
+//! figures --json [--quick] [--jobs N]
 //! ```
 //!
 //! `--quick` shrinks the sweeps (for smoke tests); the default sweeps
 //! match the paper's ranges where feasible.
+//!
+//! `--jobs N` sizes the host thread pool (default: all cores). Every
+//! measurement point owns its whole launch state (a fresh
+//! [`bench::fresh_gm`] device per point), so independent points run
+//! concurrently on worker threads while the results are committed in
+//! point order: the tables and the JSON document are byte-identical to
+//! a `--jobs 1` run, only the wall clock changes.
 //!
 //! `--json` skips the tables and instead writes `BENCH_scan.json`: one
 //! machine-readable `bench-scan/v4` document with a full
@@ -32,15 +39,50 @@ use scan::ablation::{mcscan_variant, McScanVariant};
 use scan::mcscan::{mcscan, McScanConfig, ScanKind};
 use scan::scanc::{scanc, ScanCConfig};
 use scan::{batched_scanu, batched_scanul1, cumsum_vec_only, scanu, scanul1};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Host worker-thread count, set once from `--jobs` before any figure
+/// runs (default: all cores). Read by [`par`].
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed)
+}
+
+/// Runs one independent measurement point per item on the `--jobs`
+/// thread pool and returns the results in item order (see
+/// [`bench::run_points`]); printing stays serial and deterministic.
+fn par<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Send + Sync) -> Vec<R> {
+    let f = &f;
+    let points: Vec<Box<dyn FnOnce() -> R + Send + '_>> = items
+        .into_iter()
+        .map(|item| {
+            let point: Box<dyn FnOnce() -> R + Send + '_> = Box::new(move || f(item));
+            point
+        })
+        .collect();
+    bench::run_points(points, jobs())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    JOBS.store(parse_jobs(&args), Ordering::Relaxed);
+    let mut which: Option<&str> = None;
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--jobs" {
+            skip_value = true;
+        } else if !a.starts_with("--") && which.is_none() {
+            which = Some(a);
+        }
+    }
+    let which = which.unwrap_or("all");
 
     let spec = ChipSpec::ascend_910b4();
     if args.iter().any(|a| a == "--json") {
@@ -101,85 +143,125 @@ fn us(r: &KernelReport) -> String {
     format!("{:.1}", r.time_us())
 }
 
+/// Parses `--jobs N` / `--jobs=N`; defaults to all available cores.
+fn parse_jobs(args: &[String]) -> usize {
+    let mut explicit: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            explicit = it.next().map(String::as_str);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            explicit = Some(v);
+        }
+    }
+    match explicit {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs needs a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// One `--json` measurement point's payload: a kernel report or a
+/// pre-rendered traffic row. Points are heterogeneous but committed in
+/// a single ordered pass so the document layout never depends on which
+/// worker finished first.
+enum Point {
+    Kernel(Box<KernelReport>),
+    Traffic(String),
+}
+
 /// `--json`: runs every paper scan kernel once at a fixed input length
 /// and writes the structured `bench-scan/v4` report to `BENCH_scan.json`.
+/// All points run on the `--jobs` pool; the document (minus the `host`
+/// wall-clock section) is byte-identical at any pool width.
 fn json_report(spec: &ChipSpec, quick: bool) {
     let n: usize = if quick { 1 << 18 } else { 1 << 22 };
     let batch = 8usize;
     let s = 128usize;
-    println!("collecting kernel reports at N = {} ...", human(n));
+    println!(
+        "collecting kernel reports at N = {} on {} host thread(s) ...",
+        human(n),
+        jobs()
+    );
 
-    let mut reports: Vec<KernelReport> = Vec::new();
     let data = vec![F16::ONE; n];
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        reports.push(cumsum_vec_only(spec, &gm, &x, s, 1).unwrap().report);
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        reports.push(scanu::<F16, F16>(spec, &gm, &x, s).unwrap().report);
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        reports.push(scanul1::<F16, F16>(spec, &gm, &x, s).unwrap().report);
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        let mut r = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))
-            .unwrap()
-            .report;
-        r.name = "MCScan(fp16)".into();
-        reports.push(r);
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &vec![1u8; n]).unwrap();
-        let mut r = mcscan::<u8, i16, i32>(spec, &gm, &x, McScanConfig::for_chip(spec))
-            .unwrap()
-            .report;
-        r.name = "MCScan(int8)".into();
-        reports.push(r);
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        let mut r = scanc::<F16, F16, F16>(spec, &gm, &x, ScanCConfig::for_chip::<F16, F16>(spec))
-            .unwrap()
-            .report;
-        r.name = "ScanC(fp16)".into();
-        reports.push(r);
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &vec![1u8; n]).unwrap();
-        let mut r = scanc::<u8, i16, i32>(spec, &gm, &x, ScanCConfig::for_chip::<i16, i32>(spec))
-            .unwrap()
-            .report;
-        r.name = "ScanC(int8)".into();
-        reports.push(r);
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        reports.push(
+    type KernelPoint<'a> = Box<dyn FnOnce() -> KernelReport + Send + 'a>;
+    let kernel_points: Vec<KernelPoint<'_>> = vec![
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            cumsum_vec_only(spec, &gm, &x, s, 1).unwrap().report
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            scanu::<F16, F16>(spec, &gm, &x, s).unwrap().report
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            scanul1::<F16, F16>(spec, &gm, &x, s).unwrap().report
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            let mut r = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))
+                .unwrap()
+                .report;
+            r.name = "MCScan(fp16)".into();
+            r
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &vec![1u8; n]).unwrap();
+            let mut r = mcscan::<u8, i16, i32>(spec, &gm, &x, McScanConfig::for_chip(spec))
+                .unwrap()
+                .report;
+            r.name = "MCScan(int8)".into();
+            r
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+            let mut r =
+                scanc::<F16, F16, F16>(spec, &gm, &x, ScanCConfig::for_chip::<F16, F16>(spec))
+                    .unwrap()
+                    .report;
+            r.name = "ScanC(fp16)".into();
+            r
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &vec![1u8; n]).unwrap();
+            let mut r =
+                scanc::<u8, i16, i32>(spec, &gm, &x, ScanCConfig::for_chip::<i16, i32>(spec))
+                    .unwrap()
+                    .report;
+            r.name = "ScanC(int8)".into();
+            r
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
             batched_scanu::<F16, F16>(spec, &gm, &x, batch, n / batch, s)
                 .unwrap()
-                .report,
-        );
-    }
-    {
-        let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
-        reports.push(
+                .report
+        }),
+        Box::new(|| {
+            let gm = fresh_gm(spec);
+            let x = GlobalTensor::from_slice(&gm, &data).unwrap();
             batched_scanul1::<F16, F16>(spec, &gm, &x, batch, n / batch, s)
                 .unwrap()
-                .report,
-        );
-    }
+                .report
+        }),
+    ];
 
     // The tentpole comparison: total GM bytes moved by MCScan vs ScanC
     // across the Fig. 3 size sweep, for both dtype paths. ScanC drops
@@ -190,27 +272,77 @@ fn json_report(spec: &ChipSpec, quick: bool) {
     } else {
         sweep(1 << 12, 4, 6)
     };
-    let mut traffic_rows: Vec<String> = Vec::new();
+    let mut points: Vec<Box<dyn FnOnce() -> (Point, f64) + Send + '_>> = kernel_points
+        .into_iter()
+        .map(|k| {
+            let timed: Box<dyn FnOnce() -> (Point, f64) + Send + '_> = Box::new(move || {
+                let t0 = Instant::now();
+                let r = k();
+                (Point::Kernel(Box::new(r)), t0.elapsed().as_secs_f64())
+            });
+            timed
+        })
+        .collect();
     for &tn in &traffic_sizes {
         for dtype in ["fp16", "int8"] {
-            let (mc, sc) = traffic_pair(spec, tn, dtype);
-            traffic_rows.push(format!(
-                "{{\"n\":{tn},\"dtype\":\"{dtype}\",\
-                 \"mcscan_bytes\":{},\"scanc_bytes\":{},\
-                 \"mcscan_time_us\":{},\"scanc_time_us\":{}}}",
-                mc.bytes_read + mc.bytes_written,
-                sc.bytes_read + sc.bytes_written,
-                format_args!("{:.3}", mc.time_us()),
-                format_args!("{:.3}", sc.time_us()),
-            ));
+            points.push(Box::new(move || {
+                let t0 = Instant::now();
+                let (mc, sc) = traffic_pair(spec, tn, dtype);
+                let row = format!(
+                    "{{\"n\":{tn},\"dtype\":\"{dtype}\",\
+                     \"mcscan_bytes\":{},\"scanc_bytes\":{},\
+                     \"mcscan_time_us\":{},\"scanc_time_us\":{}}}",
+                    mc.bytes_read + mc.bytes_written,
+                    sc.bytes_read + sc.bytes_written,
+                    format_args!("{:.3}", mc.time_us()),
+                    format_args!("{:.3}", sc.time_us()),
+                );
+                (Point::Traffic(row), t0.elapsed().as_secs_f64())
+            }));
+        }
+    }
+
+    let total_points = points.len();
+    let wall0 = Instant::now();
+    let outcomes = bench::run_points(points, jobs());
+    let host_seconds = wall0.elapsed().as_secs_f64().max(1e-6);
+
+    let mut reports: Vec<KernelReport> = Vec::new();
+    let mut kernel_seconds: Vec<f64> = Vec::new();
+    let mut traffic_rows: Vec<String> = Vec::new();
+    let mut serial_est = 0.0;
+    for (point, secs) in outcomes {
+        serial_est += secs;
+        match point {
+            Point::Kernel(r) => {
+                reports.push(*r);
+                kernel_seconds.push(secs.max(1e-6));
+            }
+            Point::Traffic(row) => traffic_rows.push(row),
         }
     }
 
     let kernels: Vec<String> = reports.iter().map(|r| r.to_json(spec)).collect();
+    // The host section is the only part of the document that depends on
+    // wall clocks. It is kept flat (no nested braces) so CI can strip it
+    // with one regular expression before byte-comparing runs.
+    let host = format!(
+        "{{\"jobs\":{},\"points\":{},\"host_seconds\":{:.6},\
+         \"serial_seconds_est\":{:.6},\"kernel_host_seconds\":[{}]}}",
+        jobs(),
+        total_points,
+        host_seconds,
+        serial_est.max(1e-6),
+        kernel_seconds
+            .iter()
+            .map(|t| format!("{t:.6}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     let doc = format!(
         "{{\"schema\":\"bench-scan/v4\",\"chip\":{{\"name\":\"{}\",\"ai_cores\":{},\
          \"clock_ghz\":{},\"hbm_gbps\":{:.1}}},\"n\":{},\"s\":{},\"kernels\":[{}],\
-         \"traffic\":[{}]}}\n",
+         \"traffic\":[{}],\"host\":{}}}\n",
         spec.name,
         spec.ai_cores,
         spec.clock_ghz,
@@ -218,7 +350,8 @@ fn json_report(spec: &ChipSpec, quick: bool) {
         n,
         s,
         kernels.join(","),
-        traffic_rows.join(",")
+        traffic_rows.join(","),
+        host
     );
     validate_bench_json(&doc, spec).expect("BENCH_scan.json must pass the v4 sanity bounds");
     std::fs::write("BENCH_scan.json", &doc).expect("write BENCH_scan.json");
@@ -226,6 +359,14 @@ fn json_report(spec: &ChipSpec, quick: bool) {
         "wrote BENCH_scan.json ({} kernels, {} bytes)",
         reports.len(),
         doc.len()
+    );
+    println!(
+        "host: {} points, {} jobs, {:.2}s wall, {:.2}x vs {:.2}s serial estimate",
+        total_points,
+        jobs(),
+        host_seconds,
+        serial_est / host_seconds,
+        serial_est
     );
     for r in &reports {
         println!(
@@ -276,13 +417,16 @@ fn fig3(spec: &ChipSpec, quick: bool) {
         "UL1-speedup",
     ]);
     let mut last = (0.0, 0.0);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let gm = fresh_gm(spec);
         let data = vec![F16::ZERO; n];
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let b = cumsum_vec_only(spec, &gm, &x, 128, 1).unwrap().report;
         let u = scanu::<F16, F16>(spec, &gm, &x, 128).unwrap().report;
         let ul1 = scanul1::<F16, F16>(spec, &gm, &x, 128).unwrap().report;
+        (n, b, u, ul1)
+    });
+    for (n, b, u, ul1) in rows {
         last = (b.time_s() / u.time_s(), b.time_s() / ul1.time_s());
         t.row(vec![
             human(n),
@@ -316,9 +460,10 @@ fn fig5(spec: &ChipSpec, quick: bool) {
     let mut header: Vec<String> = vec!["batch \\ len".into()];
     header.extend(lens.iter().map(|&l| human(l)));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    for &b in &batches {
+    let lens_ref = &lens;
+    let rows = par(batches.clone(), move |b| {
         let mut row = vec![b.to_string()];
-        for &len in &lens {
+        for &len in lens_ref {
             let gm = fresh_gm(spec);
             let data = vec![F16::ZERO; b * len];
             let x = GlobalTensor::from_slice(&gm, &data).unwrap();
@@ -330,6 +475,9 @@ fn fig5(spec: &ChipSpec, quick: bool) {
                 .report;
             row.push(format!("{:.2}", ul1.time_s() / u.time_s()));
         }
+        row
+    });
+    for row in rows {
         t.row(row);
     }
     t.print();
@@ -348,7 +496,7 @@ fn fig8(spec: &ChipSpec, quick: bool) {
         sweep(1 << 16, 4, 6)
     };
     let mut t = Table::new(&["N", "s=32", "s=64", "s=128", "clone", "s128 %peak"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let data = vec![F16::ZERO; n];
         let mut cells = vec![human(n)];
         let mut frac = 0.0;
@@ -377,6 +525,9 @@ fn fig8(spec: &ChipSpec, quick: bool) {
         let (_, c) = baselines::clone(spec, &gm, &x).unwrap();
         cells.push(format!("{:.0}", c.gbps()));
         cells.push(format!("{:.1}%", frac * 100.0));
+        cells
+    });
+    for cells in rows {
         t.row(cells);
     }
     t.print();
@@ -392,7 +543,7 @@ fn fig9(spec: &ChipSpec, quick: bool) {
         sweep(1 << 18, 4, 5)
     };
     let mut t = Table::new(&["N", "fp16", "int8", "int8 gain"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let cfg = McScanConfig {
             s: 128,
             blocks: spec.ai_cores,
@@ -404,12 +555,15 @@ fn fig9(spec: &ChipSpec, quick: bool) {
         let gm = fresh_gm(spec);
         let xi = GlobalTensor::from_slice(&gm, &vec![1u8; n]).unwrap();
         let ri = mcscan::<u8, i16, i32>(spec, &gm, &xi, cfg).unwrap().report;
-        t.row(vec![
+        vec![
             human(n),
             format!("{:.2}", rf.gelems()),
             format!("{:.2}", ri.gelems()),
             format!("{:.2}x", ri.gelems() / rf.gelems()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t.row(cells);
     }
     t.print();
     println!("  paper: ~10% more elements/s for int8 inputs\n");
@@ -424,7 +578,7 @@ fn fig10(spec: &ChipSpec, quick: bool) {
         sweep(1 << 16, 4, 5)
     };
     let mut t = Table::new(&["N", "s=32", "s=64", "s=128", "torch.masked_select"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let vals = synth_f16(n, 1);
         let mask = synth_mask(n, 2);
         let mut cells = vec![human(n)];
@@ -442,6 +596,9 @@ fn fig10(spec: &ChipSpec, quick: bool) {
         let m = GlobalTensor::from_slice(&gm, &mask).unwrap();
         let (_, b) = baselines::masked_select(spec, &gm, &x, &m).unwrap();
         cells.push(format!("{:.1}", b.gbps()));
+        cells
+    });
+    for cells in rows {
         t.row(cells);
     }
     t.print();
@@ -457,7 +614,7 @@ fn fig11(spec: &ChipSpec, quick: bool) {
         vec![1 << 16, 1 << 18, 525_000, 1 << 20, 1 << 22, 1 << 24]
     };
     let mut t = Table::new(&["N", "radix sort", "torch.sort", "speedup"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let vals = synth_f16(n, 3);
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
@@ -467,12 +624,15 @@ fn fig11(spec: &ChipSpec, quick: bool) {
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
         let (_, _, b) = baselines::sort::<F16>(spec, &gm, &x, false).unwrap();
-        t.row(vec![
+        vec![
             human(n),
             format!("{:.2}", r.time_ms()),
             format!("{:.2}", b.time_ms()),
             format!("{:.2}x", b.time_s() / r.time_s()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t.row(cells);
     }
     t.print();
     println!("  paper: 1.3x-3.3x speedup for N > 525K; baseline wins below\n");
@@ -488,7 +648,7 @@ fn fig12(spec: &ChipSpec, quick: bool) {
         vec![1, 2, 4, 8, 16, 24, 32, 40]
     };
     let mut t = Table::new(&["batch", "s=16", "s=32", "s=64", "s=128", "baseline"]);
-    for &b in &batches {
+    let rows = par(batches.clone(), |b| {
         let data = vec![F16::ZERO; b * len];
         let mut cells = vec![b.to_string()];
         for s in [16usize, 32, 64, 128] {
@@ -505,6 +665,9 @@ fn fig12(spec: &ChipSpec, quick: bool) {
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let base = bench::batched_cumsum_baseline(spec, &gm, &x, b, len).unwrap();
         cells.push(format!("{:.0}", base.gbps()));
+        cells
+    });
+    for cells in rows {
         t.row(cells);
     }
     t.print();
@@ -521,7 +684,7 @@ fn fig12(spec: &ChipSpec, quick: bool) {
         vec![(64, 32768), (128, 16384)]
     };
     let mut t2 = Table::new(&["shape", "GB/s", "us", "baseline GB/s"]);
-    for &(b, len) in &shapes {
+    let rows = par(shapes.clone(), |(b, len)| {
         let data = vec![F16::ZERO; b * len];
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
@@ -531,12 +694,15 @@ fn fig12(spec: &ChipSpec, quick: bool) {
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
         let base = bench::batched_cumsum_baseline(spec, &gm, &x, b, len).unwrap();
-        t2.row(vec![
+        vec![
             format!("{b}x{}", human(len)),
             format!("{:.0}", r.gbps()),
             us(&r),
             format!("{:.0}", base.gbps()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t2.row(cells);
     }
     t2.print();
     println!();
@@ -551,7 +717,7 @@ fn fig13(spec: &ChipSpec, quick: bool) {
         sweep(1 << 10, 4, 6)
     };
     let mut t = Table::new(&["vocab", "s=32", "s=64", "s=128", "PyTorch", "s128 speedup"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let probs = synth_probs(n, 9);
         let mut cells = vec![human(n)];
         let mut ours128 = 0.0;
@@ -571,6 +737,9 @@ fn fig13(spec: &ChipSpec, quick: bool) {
         let (_, b) = baseline_top_p(spec, &gm, &x, 0.9, 0.37).unwrap();
         cells.push(format!("{:.2}", b.time_ms()));
         cells.push(format!("{:.2}x", b.time_s() / ours128));
+        cells
+    });
+    for cells in rows {
         t.row(cells);
     }
     t.print();
@@ -586,7 +755,7 @@ fn speedup(spec: &ChipSpec, quick: bool) {
         sweep(1 << 18, 4, 5)
     };
     let mut t = Table::new(&["N", "ScanU (us)", "MCScan (us)", "speedup"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let data = vec![F16::ZERO; n];
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
@@ -596,12 +765,15 @@ fn speedup(spec: &ChipSpec, quick: bool) {
         let mc = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))
             .unwrap()
             .report;
-        t.row(vec![
+        vec![
             human(n),
             us(&u),
             us(&mc),
             format!("{:.1}x", u.time_s() / mc.time_s()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t.row(cells);
     }
     t.print();
     println!();
@@ -661,18 +833,21 @@ fn scanc_experiment(spec: &ChipSpec, quick: bool) {
             "MCScan us",
             "ScanC us",
         ]);
-        for &n in &sizes {
+        let rows = par(sizes.clone(), |n| {
             let (mc, sc) = traffic_pair(spec, n, dtype);
             let mcb = mc.bytes_read + mc.bytes_written;
             let scb = sc.bytes_read + sc.bytes_written;
-            t.row(vec![
+            vec![
                 human(n),
                 mcb.to_string(),
                 scb.to_string(),
                 format!("{:.2}", scb as f64 / mcb as f64),
                 us(&mc),
                 us(&sc),
-            ]);
+            ]
+        });
+        for cells in rows {
+            t.row(cells);
         }
         t.print();
     }
@@ -693,21 +868,25 @@ fn topk_experiment(spec: &ChipSpec, quick: bool) {
     };
     let vals = synth_f16(n, 5);
     let mut t = Table::new(&["k", "ours (ms)", "torch.topk (ms)", "ours/baseline"]);
-    for &k in &ks {
+    let vals_ref = &vals;
+    let rows = par(ks.clone(), move |k| {
         let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+        let x = GlobalTensor::from_slice(&gm, vals_ref).unwrap();
         let r = topk::<F16>(spec, &gm, &x, k, 128, spec.ai_cores)
             .unwrap()
             .report;
         let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &vals).unwrap();
+        let x = GlobalTensor::from_slice(&gm, vals_ref).unwrap();
         let (_, _, b) = baselines::topk_baseline::<F16>(spec, &gm, &x, k).unwrap();
-        t.row(vec![
+        vec![
             k.to_string(),
             format!("{:.2}", r.time_ms()),
             format!("{:.2}", b.time_ms()),
             format!("{:.2}x", r.time_s() / b.time_s()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t.row(cells);
     }
     t.print();
     println!("  (values > 1 mean the baseline wins, reproducing the paper's negative finding)\n");
@@ -725,7 +904,7 @@ fn ablation(spec: &ChipSpec, quick: bool) {
     let mut header = vec!["N".to_string()];
     header.extend(McScanVariant::ALL.iter().map(|v| v.name().to_string()));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let data = vec![1i8; n];
         let mut cells = vec![human(n)];
         for v in McScanVariant::ALL {
@@ -741,6 +920,9 @@ fn ablation(spec: &ChipSpec, quick: bool) {
                 .report;
             cells.push(format!("{:.1}", r.time_us()));
         }
+        cells
+    });
+    for cells in rows {
         t.row(cells);
     }
     t.print();
@@ -764,7 +946,7 @@ fn lowbit(spec: &ChipSpec, quick: bool) {
         vec![1 << 18, 1 << 20, 1 << 22]
     };
     let mut t = Table::new(&["N", "fp16 sort", "int8 sort", "gain"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let vals16 = synth_f16(n, 21);
         let vals8: Vec<i8> = vals16.iter().map(|v| (v.to_f32() / 10.0) as i8).collect();
         let gm = fresh_gm(spec);
@@ -777,12 +959,15 @@ fn lowbit(spec: &ChipSpec, quick: bool) {
         let r8 = radix_sort::<i8>(spec, &gm, &x, 128, spec.ai_cores, SortOrder::Ascending)
             .unwrap()
             .report;
-        t.row(vec![
+        vec![
             human(n),
             format!("{:.2}", r16.time_ms()),
             format!("{:.2}", r8.time_ms()),
             format!("{:.2}x", r16.time_s() / r8.time_s()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t.row(cells);
     }
     t.print();
     println!("  paper (future work): ~2x expected for 8-bit keys without further development\n");
@@ -795,10 +980,10 @@ fn scaling(spec: &ChipSpec, quick: bool) {
     let n = if quick { 4 << 20 } else { 16 << 20 };
     let data = vec![F16::ZERO; n];
     let mut t = Table::new(&["blocks", "time (us)", "GB/s", "vs 1 block"]);
-    let mut t1 = 0.0;
-    for blocks in [1u32, 2, 4, 8, 12, 16, 20] {
+    let data_ref = &data;
+    let rows = par(vec![1u32, 2, 4, 8, 12, 16, 20], move |blocks| {
         let gm = fresh_gm(spec);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+        let x = GlobalTensor::from_slice(&gm, data_ref).unwrap();
         let r = mcscan::<F16, F16, F16>(
             spec,
             &gm,
@@ -811,9 +996,14 @@ fn scaling(spec: &ChipSpec, quick: bool) {
         )
         .unwrap()
         .report;
-        if blocks == 1 {
-            t1 = r.time_s();
-        }
+        (blocks, r)
+    });
+    let t1 = rows
+        .iter()
+        .find(|(blocks, _)| *blocks == 1)
+        .map(|(_, r)| r.time_s())
+        .unwrap_or(0.0);
+    for (blocks, r) in rows {
         t.row(vec![
             blocks.to_string(),
             format!("{:.1}", r.time_us()),
@@ -841,26 +1031,31 @@ fn tiles(quick: bool) {
     let n = if quick { 4 << 20 } else { 16 << 20 };
     let data = vec![F16::ZERO; n];
     let mut t = Table::new(&["s", "time (us)", "GB/s"]);
-    for s in [64usize, 128, 256] {
-        let gm = fresh_gm(&fat);
-        let x = GlobalTensor::from_slice(&gm, &data).unwrap();
+    let fat_ref = &fat;
+    let data_ref = &data;
+    let rows = par(vec![64usize, 128, 256], move |s| {
+        let gm = fresh_gm(fat_ref);
+        let x = GlobalTensor::from_slice(&gm, data_ref).unwrap();
         let r = mcscan::<F16, F16, F16>(
-            &fat,
+            fat_ref,
             &gm,
             &x,
             McScanConfig {
                 s,
-                blocks: fat.ai_cores,
+                blocks: fat_ref.ai_cores,
                 kind: ScanKind::Inclusive,
             },
         )
         .unwrap()
         .report;
-        t.row(vec![
+        vec![
             s.to_string(),
             format!("{:.1}", r.time_us()),
             format!("{:.0}", r.gbps()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t.row(cells);
     }
     t.print();
     println!("  the paper conjectures further gains from bigger tiles; the model agrees but");
@@ -878,7 +1073,7 @@ fn reduce_experiment(spec: &ChipSpec, quick: bool) {
         sweep(1 << 18, 4, 5)
     };
     let mut t = Table::new(&["N", "cube", "vector", "MCScan (ref)"]);
-    for n in sizes {
+    let rows = par(sizes, |n| {
         let data = vec![F16::ONE; n];
         let gm = fresh_gm(spec);
         let x = GlobalTensor::from_slice(&gm, &data).unwrap();
@@ -895,12 +1090,15 @@ fn reduce_experiment(spec: &ChipSpec, quick: bool) {
         let ms = mcscan::<F16, F16, F16>(spec, &gm, &x, McScanConfig::for_chip(spec))
             .unwrap()
             .report;
-        t.row(vec![
+        vec![
             human(n),
             format!("{:.0}", rc.gbps()),
             format!("{:.0}", rv.gbps()),
             format!("{:.0}", ms.gbps()),
-        ]);
+        ]
+    });
+    for cells in rows {
+        t.row(cells);
     }
     t.print();
     println!("  a reduction reads each element once and rides close to the copy roofline;");

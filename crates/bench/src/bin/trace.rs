@@ -2,12 +2,13 @@
 //! kernels' simulated schedules.
 //!
 //! ```text
-//! trace [scanu|scanul1|mcscan|scanc|cumsum|batched|all] [N] [out.json]
+//! trace [scanu|scanul1|mcscan|scanc|cumsum|batched|all] [N] [out.json] [--jobs N] [--dir DIR]
 //! ```
 //!
-//! The kernels run through their normal public entry points under
-//! [`ascend_sim::prof::with_profiling`], so the trace shows exactly what
-//! a measurement run executes: named phase spans ("Phase I", "SyncAll",
+//! The kernels run through their normal public entry points with a
+//! per-launch [`ascend_sim::prof::ProfileRecorder`] attached to each
+//! kernel's own fresh device, so the trace shows exactly what a
+//! measurement run executes: named phase spans ("Phase I", "SyncAll",
 //! "VecPropagation"), per-tile spans with bytes/kind/queue-depth args,
 //! per-engine busy intervals interleaved with `wait:dep` /
 //! `wait:flag` / `wait:barrier` stall intervals, and `TQue` occupancy
@@ -15,8 +16,16 @@
 //! the produced JSON at <https://ui.perfetto.dev> (or chrome://tracing)
 //! — the double-buffered pipelines of Fig. 2 and the two phases of
 //! Fig. 6 are directly visible.
+//!
+//! Because every kernel owns its whole launch state, independent
+//! kernels trace concurrently on `--jobs N` worker threads (default:
+//! all cores) while profiles are committed in kernel order — the merged
+//! output is byte-identical to a `--jobs 1` run. `--dir DIR` writes one
+//! `DIR/<kernel>.json` per kernel instead of a single merged file, so
+//! downstream per-kernel consumers (the `simlint` / `critpath` CLIs)
+//! can fan out without re-tracing.
 
-use ascend_sim::prof::{self, KernelProfile};
+use ascend_sim::prof::{KernelProfile, Profile};
 use ascend_sim::{ChipSpec, EngineKind};
 use ascendc::GlobalTensor;
 use bench::fresh_gm;
@@ -29,10 +38,54 @@ const KERNELS: &[&str] = &["scanu", "scanul1", "mcscan", "scanc", "cumsum", "bat
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let kernel = args.first().map(String::as_str).unwrap_or("mcscan");
-    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let mut positional: Vec<&str> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            jobs = it.next().and_then(|v| v.parse().ok());
+            if jobs.is_none() {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse() {
+                Ok(n) => jobs = Some(n),
+                Err(_) => {
+                    eprintln!("--jobs needs a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--dir" {
+            dir = it.next().cloned();
+            if dir.is_none() {
+                eprintln!("--dir needs a directory path");
+                std::process::exit(2);
+            }
+        } else if let Some(v) = a.strip_prefix("--dir=") {
+            dir = Some(v.to_string());
+        } else if a.starts_with("--") {
+            eprintln!("unknown flag '{a}'");
+            std::process::exit(2);
+        } else {
+            positional.push(a);
+        }
+    }
+    let jobs = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    let kernel = positional.first().copied().unwrap_or("mcscan");
+    let n: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 18);
     let default_out = format!("{kernel}_trace.json");
-    let out = args.get(2).map(String::as_str).unwrap_or(&default_out);
+    let out = positional.get(2).copied().unwrap_or(&default_out);
 
     let chosen: Vec<&str> = match kernel {
         "all" => KERNELS.to_vec(),
@@ -47,30 +100,60 @@ fn main() {
     };
 
     let spec = ChipSpec::ascend_910b4();
-    let ((), profile) = prof::with_profiling(|| {
-        for k in &chosen {
-            run_kernel(&spec, k, n);
-        }
-    });
+    // One point per kernel, each with its own device and recorder; the
+    // pool commits profiles in kernel order.
+    let spec_ref = &spec;
+    let points: Vec<Box<dyn FnOnce() -> Profile + Send + '_>> = chosen
+        .iter()
+        .map(|&k| {
+            let point: Box<dyn FnOnce() -> Profile + Send + '_> =
+                Box::new(move || run_kernel(spec_ref, k, n));
+            point
+        })
+        .collect();
+    let profiles = bench::run_points(points, jobs);
 
-    for k in &profile.kernels {
-        print_summary(k);
+    for p in &profiles {
+        for k in &p.kernels {
+            print_summary(k);
+        }
     }
 
-    let json = profile.to_chrome_json();
-    bench::validate_json(&json).expect("trace export must be well-formed JSON");
-    std::fs::write(out, &json).expect("write trace file");
-    println!(
-        "{} kernel(s) over {n} elements -> {out} ({} bytes)",
-        profile.kernels.len(),
-        json.len()
-    );
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(&dir).expect("create trace output directory");
+        let mut total = 0usize;
+        for (name, profile) in chosen.iter().zip(&profiles) {
+            let json = profile.to_chrome_json();
+            bench::validate_json(&json).expect("trace export must be well-formed JSON");
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, &json).expect("write trace file");
+            total += json.len();
+        }
+        println!(
+            "{} kernel(s) over {n} elements -> {dir}/<kernel>.json ({total} bytes, {jobs} job(s))",
+            chosen.len()
+        );
+    } else {
+        let merged = Profile {
+            kernels: profiles.into_iter().flat_map(|p| p.kernels).collect(),
+        };
+        let json = merged.to_chrome_json();
+        bench::validate_json(&json).expect("trace export must be well-formed JSON");
+        std::fs::write(out, &json).expect("write trace file");
+        println!(
+            "{} kernel(s) over {n} elements -> {out} ({} bytes, {jobs} job(s))",
+            merged.kernels.len(),
+            json.len()
+        );
+    }
     println!("open https://ui.perfetto.dev (or chrome://tracing) and load the file");
 }
 
-/// Runs one scan kernel through its public entry point on a fresh device.
-fn run_kernel(spec: &ChipSpec, kernel: &str, n: usize) {
+/// Runs one scan kernel through its public entry point on a fresh
+/// device with its own profile recorder, and returns the profile.
+fn run_kernel(spec: &ChipSpec, kernel: &str, n: usize) -> Profile {
     let gm = fresh_gm(spec);
+    let recorder = gm.attach_profiler();
     let data = vec![F16::ONE; n];
     let x = GlobalTensor::from_slice(&gm, &data).unwrap();
     match kernel {
@@ -88,12 +171,15 @@ fn run_kernel(spec: &ChipSpec, kernel: &str, n: usize) {
             let batch = 8usize;
             let len = n.div_ceil(batch).max(1);
             let gm = fresh_gm(spec);
+            let recorder = gm.attach_profiler();
             let data = vec![F16::ONE; batch * len];
             let x = GlobalTensor::from_slice(&gm, &data).unwrap();
             drop(batched_scanu::<F16, F16>(spec, &gm, &x, batch, len, 128).unwrap());
+            return recorder.take();
         }
         other => unreachable!("unvalidated kernel {other}"),
     }
+    recorder.take()
 }
 
 /// Prints a per-engine busy/stall breakdown for one profiled launch.

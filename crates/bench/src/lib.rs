@@ -8,7 +8,8 @@ use ascend_sim::mem::GlobalMemory;
 use ascend_sim::{ChipSpec, EngineKind, KernelReport};
 use ascendc::{GlobalTensor, SimResult};
 use dtypes::F16;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Geometric size sweep: `count` sizes starting at `start`, each
 /// `factor`× the previous.
@@ -82,6 +83,57 @@ pub fn human(n: usize) -> String {
 /// A fresh device for one measurement (new memory, same spec).
 pub fn fresh_gm(spec: &ChipSpec) -> Arc<GlobalMemory> {
     Arc::new(GlobalMemory::new(spec.hbm_capacity))
+}
+
+/// One deferred measurement point for [`run_points`]: a boxed closure
+/// owning its whole launch state.
+pub type Point<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Runs independent measurement points on a pool of `jobs` std threads
+/// and returns the results **in point order**, regardless of which
+/// worker finished first. Each point owns its whole launch state (a
+/// fresh [`GlobalMemory`] per point), so the points are embarrassingly
+/// parallel and the committed output is byte-identical to running them
+/// sequentially with `jobs = 1`.
+///
+/// Scheduling is a shared atomic cursor over the point list: workers
+/// claim the next unstarted point, so long points never leave the pool
+/// idle behind a fixed pre-partition. A panicking point propagates out
+/// of the scope and fails the run, exactly as it would serially.
+pub fn run_points<'a, T: Send + 'a>(points: Vec<Point<'a, T>>, jobs: usize) -> Vec<T> {
+    let n = points.len();
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 {
+        return points.into_iter().map(|f| f()).collect();
+    }
+    let slots: Vec<Mutex<Option<Point<'a, T>>>> =
+        points.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let f = slots[i]
+                    .lock()
+                    .expect("run_points slot poisoned")
+                    .take()
+                    .expect("each point runs exactly once");
+                *results[i].lock().expect("run_points result poisoned") = Some(f());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("run_points result poisoned")
+                .expect("worker committed this point")
+        })
+        .collect()
 }
 
 /// Deterministic pseudo-random fp16 probabilities for sampling workloads
@@ -426,7 +478,10 @@ impl JsonChecker<'_> {
 ///   (`launch + busy + flag_wire + chain_wire + barrier_release + hbm`)
 ///   sums to the makespan exactly, every share fraction lies in
 ///   `[0, 1]`, and at least two what-if predictions are reported, each
-///   within `[0, makespan]`.
+///   within `[0, makespan]`;
+/// * a flat `host` section is present with `jobs >= 1`, `points >= 1`,
+///   a positive `host_seconds` wall-clock, a `serial_seconds_est`, and
+///   one positive `kernel_host_seconds` entry per kernel.
 ///
 /// These are exactly the invariants that historically broke silently:
 /// runaway contention watermarks and over-peak traffic attribution.
@@ -437,7 +492,8 @@ pub fn validate_bench_json(doc: &str, spec: &ChipSpec) -> Result<(), String> {
     }
     let eps = 1e-6;
     let hbm_gbps = spec.hbm_bytes_per_sec / 1e9;
-    for k in json_kernel_objects(doc)? {
+    let kernels = json_kernel_objects(doc)?;
+    for &k in &kernels {
         let name = json_str_field(k, "name").unwrap_or("<unnamed>");
         let ctx = |msg: String| format!("kernel {name}: {msg}");
         let frac = json_num_field(k, "fraction_of_peak").map_err(&ctx)?;
@@ -537,6 +593,32 @@ pub fn validate_bench_json(doc: &str, spec: &ChipSpec) -> Result<(), String> {
             }
         }
     }
+    let host = json_sub_object(doc, "host")
+        .ok_or_else(|| "document has no host section (jobs / host_seconds)".to_string())?;
+    let jobs = json_num_field(host, "jobs")?;
+    if jobs < 1.0 {
+        return Err(format!("host jobs {jobs} must be at least 1"));
+    }
+    let points = json_num_field(host, "points")?;
+    if points < 1.0 {
+        return Err(format!("host points {points} must be at least 1"));
+    }
+    let host_seconds = json_num_field(host, "host_seconds")?;
+    if host_seconds <= 0.0 {
+        return Err(format!("host_seconds {host_seconds} must be positive"));
+    }
+    json_num_field(host, "serial_seconds_est")?;
+    let per_kernel = json_num_array(host, "kernel_host_seconds")?;
+    if per_kernel.len() != kernels.len() {
+        return Err(format!(
+            "kernel_host_seconds has {} entries for {} kernels",
+            per_kernel.len(),
+            kernels.len()
+        ));
+    }
+    if let Some(bad) = per_kernel.iter().find(|&&v| v <= 0.0) {
+        return Err(format!("kernel_host_seconds entry {bad} must be positive"));
+    }
     Ok(())
 }
 
@@ -619,6 +701,32 @@ pub fn json_num_field(obj: &str, key: &str) -> Result<f64, String> {
     rest[..end]
         .parse::<f64>()
         .map_err(|e| format!("field {key}: {e}"))
+}
+
+/// Reads the flat numeric array `"key":[n, n, ...]` inside `obj` (no
+/// nested brackets — our generated host sections are flat by design so
+/// CI can strip them with a single regular expression).
+pub fn json_num_array(obj: &str, key: &str) -> Result<Vec<f64>, String> {
+    let pat = format!("\"{key}\":[");
+    let start = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing array {key}"))?
+        + pat.len();
+    let end = obj[start..]
+        .find(']')
+        .ok_or_else(|| format!("unterminated array {key}"))?
+        + start;
+    let body = obj[start..end].trim();
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("array {key}: {e}"))
+        })
+        .collect()
 }
 
 /// Reads the string value of `"key":"..."` inside `obj`.
@@ -757,7 +865,9 @@ mod tests {
     fn bench_doc(spec: &ChipSpec, kernel_json: &str) -> String {
         format!(
             "{{\"schema\":\"bench-scan/v4\",\"chip\":{{\"name\":\"{}\"}},\
-             \"kernels\":[{}],\"traffic\":[]}}",
+             \"kernels\":[{}],\"traffic\":[],\
+             \"host\":{{\"jobs\":1,\"points\":1,\"host_seconds\":0.25,\
+             \"serial_seconds_est\":0.25,\"kernel_host_seconds\":[0.25]}}}}",
             spec.name, kernel_json
         )
     }
@@ -870,6 +980,90 @@ mod tests {
         let bad = format!("{}\"what_ifs\":[{}", &good[..start], &good[end..]);
         let err = validate_bench_json(&bench_doc(&spec, &bad), &spec).unwrap_err();
         assert!(err.contains("what-ifs"), "{err}");
+    }
+
+    #[test]
+    fn run_points_commits_in_point_order_at_any_width() {
+        let make = || -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+            (0..17)
+                .map(|i| {
+                    let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                        // Skew the work so later points often finish first.
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            ((17 - i) % 5) as u64 * 100,
+                        ));
+                        i * i
+                    });
+                    f
+                })
+                .collect()
+        };
+        let serial = run_points(make(), 1);
+        assert_eq!(serial, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        for jobs in [2, 4, 32] {
+            assert_eq!(run_points(make(), jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_points_borrows_from_the_environment() {
+        let base = [10usize, 20, 30];
+        let points: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = base
+            .iter()
+            .map(|v| {
+                let f: Box<dyn FnOnce() -> usize + Send + '_> = Box::new(move || v + 1);
+                f
+            })
+            .collect();
+        assert_eq!(run_points(points, 2), vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn validate_bench_json_gates_the_host_section() {
+        let spec = ChipSpec::tiny();
+        let gm = fresh_gm(&spec);
+        let probs = synth_probs(300, 11);
+        let t = GlobalTensor::from_slice(&gm, &probs).unwrap();
+        let (_, report) = ops::baselines::cumsum::<F16>(&spec, &gm, &t).unwrap();
+        let good = bench_doc(&spec, &report.to_json(&spec));
+        validate_bench_json(&good, &spec).expect("well-formed host section passes");
+
+        // Missing host section entirely.
+        let no_host = good.replace("\"host\":", "\"ghost\":");
+        let err = validate_bench_json(&no_host, &spec).unwrap_err();
+        assert!(err.contains("host section"), "{err}");
+
+        // Zero jobs.
+        let bad = good.replace("\"jobs\":1", "\"jobs\":0");
+        let err = validate_bench_json(&bad, &spec).unwrap_err();
+        assert!(err.contains("jobs"), "{err}");
+
+        // Non-positive wall clock.
+        let bad = good.replace("\"host_seconds\":0.25", "\"host_seconds\":0");
+        let err = validate_bench_json(&bad, &spec).unwrap_err();
+        assert!(err.contains("host_seconds"), "{err}");
+
+        // Per-kernel timing arity must match the kernel list.
+        let bad = good.replace(
+            "\"kernel_host_seconds\":[0.25]",
+            "\"kernel_host_seconds\":[0.25,0.25]",
+        );
+        let err = validate_bench_json(&bad, &spec).unwrap_err();
+        assert!(err.contains("kernel_host_seconds"), "{err}");
+    }
+
+    #[test]
+    fn json_num_array_parses_flat_arrays() {
+        assert_eq!(
+            json_num_array("{\"a\":[1,2.5,-3e2]}", "a").unwrap(),
+            vec![1.0, 2.5, -300.0]
+        );
+        assert_eq!(
+            json_num_array("{\"a\":[]}", "a").unwrap(),
+            Vec::<f64>::new()
+        );
+        assert!(json_num_array("{\"a\":[1,]}", "a").is_err());
+        assert!(json_num_array("{}", "a").is_err());
     }
 
     #[test]

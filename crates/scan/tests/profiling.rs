@@ -27,97 +27,92 @@ fn device(spec: &ChipSpec) -> Arc<GlobalMemory> {
     Arc::new(GlobalMemory::new(spec.hbm_capacity))
 }
 
-type KernelRunner = (&'static str, Box<dyn Fn(&ChipSpec) -> KernelReport>);
+type KernelRunner = (
+    &'static str,
+    Box<dyn Fn(&ChipSpec, &Arc<GlobalMemory>) -> KernelReport>,
+);
 
-/// Every public scan-crate kernel, each on a fresh device per run.
+/// Every public scan-crate kernel, each against a caller-provided device
+/// (so tests can attach a per-launch profile recorder to it).
 fn kernels() -> Vec<KernelRunner> {
     vec![
         (
             "cumsum_vec_only",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()).unwrap();
-                cumsum_vec_only(spec, &gm, &x, S, 1).unwrap().report
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()).unwrap();
+                cumsum_vec_only(spec, gm, &x, S, 1).unwrap().report
             }),
         ),
         (
             "scanu",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()).unwrap();
-                scanu::<F16, F16>(spec, &gm, &x, S).unwrap().report
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()).unwrap();
+                scanu::<F16, F16>(spec, gm, &x, S).unwrap().report
             }),
         ),
         (
             "scanul1",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()).unwrap();
-                scanul1::<F16, F16>(spec, &gm, &x, S).unwrap().report
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()).unwrap();
+                scanul1::<F16, F16>(spec, gm, &x, S).unwrap().report
             }),
         ),
         (
             "mcscan_inclusive",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()).unwrap();
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()).unwrap();
                 let cfg = McScanConfig {
                     s: S,
                     blocks: spec.ai_cores,
                     kind: ScanKind::Inclusive,
                 };
-                mcscan::<F16, F16, F16>(spec, &gm, &x, cfg).unwrap().report
+                mcscan::<F16, F16, F16>(spec, gm, &x, cfg).unwrap().report
             }),
         ),
         (
             "mcscan_exclusive",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()).unwrap();
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()).unwrap();
                 let cfg = McScanConfig {
                     s: S,
                     blocks: spec.ai_cores,
                     kind: ScanKind::Exclusive,
                 };
-                mcscan::<F16, F16, F16>(spec, &gm, &x, cfg).unwrap().report
+                mcscan::<F16, F16, F16>(spec, gm, &x, cfg).unwrap().report
             }),
         ),
         (
             "batched_scanu",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()[..2048]).unwrap();
-                batched_scanu::<F16, F16>(spec, &gm, &x, 4, 512, S)
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()[..2048]).unwrap();
+                batched_scanu::<F16, F16>(spec, gm, &x, 4, 512, S)
                     .unwrap()
                     .report
             }),
         ),
         (
             "batched_scanul1",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()[..2048]).unwrap();
-                batched_scanul1::<F16, F16>(spec, &gm, &x, 4, 512, S)
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()[..2048]).unwrap();
+                batched_scanul1::<F16, F16>(spec, gm, &x, 4, 512, S)
                     .unwrap()
                     .report
             }),
         ),
         (
             "reduce_cube",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()).unwrap();
-                reduce_cube::<F16>(spec, &gm, &x, S, spec.ai_cores)
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()).unwrap();
+                reduce_cube::<F16>(spec, gm, &x, S, spec.ai_cores)
                     .unwrap()
                     .report
             }),
         ),
         (
             "reduce_vec",
-            Box::new(|spec: &ChipSpec| {
-                let gm = device(spec);
-                let x = GlobalTensor::from_slice(&gm, &data()).unwrap();
-                reduce_vec::<F16>(spec, &gm, &x, spec.ai_cores)
+            Box::new(|spec: &ChipSpec, gm: &Arc<GlobalMemory>| {
+                let x = GlobalTensor::from_slice(gm, &data()).unwrap();
+                reduce_vec::<F16>(spec, gm, &x, spec.ai_cores)
                     .unwrap()
                     .report
             }),
@@ -162,8 +157,9 @@ fn assert_reports_identical(plain: &KernelReport, profiled: &KernelReport, kerne
 fn profiling_never_changes_a_simulated_cycle() {
     let spec = ChipSpec::tiny();
     for (name, run) in kernels() {
-        let plain = run(&spec);
-        let (profiled, profile) = prof::with_profiling(|| run(&spec));
+        let plain = run(&spec, &device(&spec));
+        let gm = device(&spec);
+        let (profiled, profile) = prof::with_profiling(&gm, || run(&spec, &gm));
         assert_reports_identical(&plain, &profiled, name);
         assert_eq!(profile.kernels.len(), 1, "{name}: one launch, one profile");
         let k = &profile.kernels[0];
@@ -172,9 +168,52 @@ fn profiling_never_changes_a_simulated_cycle() {
         assert!(!k.events.is_empty(), "{name}: engine events recorded");
         assert!(!k.spans.is_empty(), "{name}: named spans recorded");
         // A second profiled run is bit-stable too (determinism).
-        let (again, _) = prof::with_profiling(|| run(&spec));
+        let gm = device(&spec);
+        let (again, _) = prof::with_profiling(&gm, || run(&spec, &gm));
         assert_reports_identical(&profiled, &again, name);
     }
+}
+
+#[test]
+fn back_to_back_launches_never_share_a_span_tree() {
+    // Regression for the thread-local collector this recorder replaced:
+    // two sequential profiled launches on the same host thread must each
+    // collect exactly their own kernel, and a recorder attached to one
+    // memory must never capture launches on another.
+    let spec = ChipSpec::tiny();
+    let gm1 = device(&spec);
+    let gm2 = device(&spec);
+    let rec1 = gm1.attach_profiler();
+
+    let x1 = GlobalTensor::from_slice(&gm1, &data()).unwrap();
+    scanu::<F16, F16>(&spec, &gm1, &x1, S).unwrap();
+    // A launch on a different memory, same thread: must not land in rec1.
+    let x2 = GlobalTensor::from_slice(&gm2, &data()).unwrap();
+    mcscan::<F16, F16, F16>(
+        &spec,
+        &gm2,
+        &x2,
+        McScanConfig {
+            s: S,
+            blocks: spec.ai_cores,
+            kind: ScanKind::Inclusive,
+        },
+    )
+    .unwrap();
+
+    let first = rec1.take();
+    assert_eq!(first.kernels.len(), 1, "rec1 sees only its own launch");
+    assert_eq!(first.kernels[0].name, "ScanU");
+
+    // Back-to-back scopes on the same thread and memory: disjoint span
+    // trees, nothing leaks from the first into the second.
+    gm1.detach_profiler();
+    let (_, p1) = prof::with_profiling(&gm1, || scanu::<F16, F16>(&spec, &gm1, &x1, S).unwrap());
+    let (_, p2) = prof::with_profiling(&gm1, || scanul1::<F16, F16>(&spec, &gm1, &x1, S).unwrap());
+    assert_eq!(p1.kernels.len(), 1);
+    assert_eq!(p2.kernels.len(), 1);
+    assert_eq!(p1.kernels[0].name, "ScanU");
+    assert_eq!(p2.kernels[0].name, "ScanUL1");
 }
 
 #[test]
@@ -187,8 +226,9 @@ fn mcscan_profile_carries_phases_stalls_and_counters() {
         blocks: spec.ai_cores,
         kind: ScanKind::Inclusive,
     };
-    let (run, profile) =
-        prof::with_profiling(|| mcscan::<F16, F16, F16>(&spec, &gm, &x, cfg).unwrap());
+    let (run, profile) = prof::with_profiling(&gm, || {
+        mcscan::<F16, F16, F16>(&spec, &gm, &x, cfg).unwrap()
+    });
     assert_eq!(profile.kernels.len(), 1);
     let k = &profile.kernels[0];
 

@@ -38,7 +38,7 @@ fn lint_one(
     name: &'static str,
     kernel: impl Fn(&mut ascendc::BlockCtx<'_>) -> SimResult<()> + Sync,
 ) -> Vec<hb::Diagnostic> {
-    let (result, profile) = prof::with_profiling(|| launch(spec, gm, 1, name, &kernel));
+    let (result, profile) = prof::with_profiling(gm, || launch(spec, gm, 1, name, &kernel));
     result.expect("seeded kernel should launch cleanly under this validation mode");
     assert_eq!(profile.kernels.len(), 1, "exactly one launch profiled");
     hb::analyze(&profile.kernels[0].hb_events)
@@ -246,7 +246,7 @@ fn shipped_scan_kernels_lint_clean() {
         blocks: 2,
         kind: ScanKind::Inclusive,
     };
-    let (results, profile) = prof::with_profiling(|| {
+    let (results, profile) = prof::with_profiling(&gm, || {
         let mut runs: Vec<(&'static str, SimResult<()>)> = Vec::new();
         runs.push(("scanu", scanu::<i8, i32>(&spec, &gm, &x, 16).map(|_| ())));
         runs.push((

@@ -10,8 +10,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (parallel-round scheduler, the default)"
 cargo test -q --workspace
+
+echo "==> cargo test -q (serial baton scheduler via ASCEND_SCHED)"
+# The same suite must pass under both host scheduling disciplines;
+# sched_equiv additionally proves their reports byte-identical.
+ASCEND_SCHED=serial cargo test -q --workspace
 
 echo "==> perf report smoke: figures --json + trace"
 # Both binaries self-validate their output with bench::validate_json
@@ -26,19 +31,34 @@ for key in '"schema":"bench-scan/v4"' '"name":' '"cycles":' '"time_us":' \
     '"barrier_wait_cycles":' '"flag_wait_cycles":' \
     '"critical_path":' '"makespan":' '"lookback_chain_share":' \
     '"what_ifs":' '"name":"free_flags"' '"name":"zero_lookback"' \
-    '"name":"ScanC(fp16)"' '"name":"ScanC(int8)"' '"traffic":'; do
+    '"name":"ScanC(fp16)"' '"name":"ScanC(int8)"' '"traffic":' \
+    '"host":' '"jobs":' '"host_seconds":' '"kernel_host_seconds":'; do
   grep -qF "$key" BENCH_scan.json \
     || { echo "BENCH_scan.json missing required key $key"; exit 1; }
 done
 
+# The host section carries wall-clock times, the one legitimately
+# run-dependent part of the document; every byte-stability comparison
+# below blanks it first.
+strip_host() { sed -E 's/"host":\{[^{}]*\}/"host":{}/' "$1"; }
+
 echo "==> determinism gate: two figure runs must be byte-identical"
-# The cooperative scheduler makes launches seed-independent; any drift
-# between two back-to-back runs is a scheduler regression.
+# The deterministic scheduler makes launches seed-independent; any
+# drift between two back-to-back runs is a scheduler regression.
 mv BENCH_scan.json BENCH_scan.first.json
 cargo run --release -p bench --bin figures -- --json --quick
-cmp BENCH_scan.first.json BENCH_scan.json \
+cmp <(strip_host BENCH_scan.first.json) <(strip_host BENCH_scan.json) \
   || { echo "BENCH_scan.json is not byte-stable across runs"; exit 1; }
 rm -f BENCH_scan.first.json
+
+echo "==> host-parallelism gate: --jobs 1 and --jobs $(nproc) must agree byte-for-byte"
+# Simulated results may never depend on how many host threads ran the
+# figure points; only the host section's wall-clock times may move.
+mv BENCH_scan.json BENCH_scan.wide.json
+cargo run --release -p bench --bin figures -- --json --quick --jobs 1
+cmp <(strip_host BENCH_scan.json) <(strip_host BENCH_scan.wide.json) \
+  || { echo "BENCH_scan.json differs between --jobs 1 and --jobs $(nproc)"; exit 1; }
+rm -f BENCH_scan.wide.json
 
 echo "==> oversubscribed smoke: grids larger than the host"
 cargo test -q -p ascendc oversubscribed_launch_is_deterministic
@@ -59,9 +79,13 @@ echo "==> simlint + critpath gates: every shipped kernel's schedule must be clea
 # repo root.
 lintdir=$(mktemp -d)
 trap 'rm -rf "$lintdir"' EXIT
+# One `trace` invocation traces all kernels concurrently (--jobs) and
+# writes one file per kernel (--dir); the per-kernel JSON is
+# byte-identical to what six serial single-kernel runs would write.
+cargo run --release -p bench --bin trace -- all 65536 --jobs "$(nproc)" --dir "$lintdir"
 lint_traces=()
 for k in scanu scanul1 mcscan scanc cumsum batched; do
-  cargo run --release -p bench --bin trace -- "$k" 65536 "$lintdir/$k.json"
+  test -s "$lintdir/$k.json" || { echo "trace --dir did not write $k.json"; exit 1; }
   lint_traces+=("$lintdir/$k.json")
 done
 # simlint exits nonzero on ANY diagnostic — races and sync gaps, but

@@ -98,7 +98,7 @@ fn critical_path_length_equals_cycles_for_every_shipped_kernel() {
 fn critical_path_segments_tile_the_makespan() {
     let dev = Device::ascend_910b4();
     let data = vec![F16::ONE; 65_536];
-    let (report, profile) = prof::with_profiling(|| {
+    let (report, profile) = prof::with_profiling(dev.memory(), || {
         let x = dev.tensor(&data).unwrap();
         ascend_scan::scan::mcscan::mcscan::<F16, F16, F16>(
             dev.spec(),
